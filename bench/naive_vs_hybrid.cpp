@@ -1,0 +1,82 @@
+// Section 3 reproduction: why SP-hybrid exists. A naive parallel SP-order
+// shares one order-maintenance structure and takes a global lock around
+// every insertion — Theta(T1) locked operations, so waiting can expand the
+// apparent work toward Theta(P*T1). SP-hybrid performs locked insertions
+// only on steals — O(P*Tinf) of them — pushing everything else into
+// lock-free local-tier work.
+//
+// The harness runs both modes on the same computation and reports total
+// time, the number of locked global insertions, and time spent waiting for
+// the global lock (the apparent-work inflation).
+
+#include <iostream>
+#include <string>
+
+#include "fjprog/generators.hpp"
+#include "fjprog/lower.hpp"
+#include "sphybrid/executor.hpp"
+#include "sptree/metrics.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spr::hybrid::ExecOptions;
+using spr::hybrid::ExecResult;
+using spr::hybrid::Mode;
+
+ExecResult run(const spr::tree::ParseTree& t, Mode mode, unsigned workers) {
+  ExecOptions o;
+  o.workers = workers;
+  o.mode = mode;
+  o.queries_per_leaf = 1;
+  ExecResult best;
+  best.elapsed_s = 1e30;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    o.seed = seed;
+    ExecResult r = spr::hybrid::run_parallel(t, o);
+    if (r.elapsed_s < best.elapsed_s) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const spr::tree::ParseTree t =
+      spr::fj::lower_to_parse_tree(spr::fj::make_fib(22, 16));
+  const auto m = spr::tree::compute_metrics(t);
+  std::cout << "Section 3 — naive locked parallel SP-order vs SP-hybrid\n"
+            << "fib(22): n=" << m.threads << " threads, T1=" << m.work
+            << ", Tinf=" << m.span << ", 1 query/thread\n\n";
+  spr::util::Table table({"mode", "P", "time", "locked OM inserts",
+                          "lock wait total", "lock wait / insert",
+                          "steals"});
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    for (const Mode mode : {Mode::kNaive, Mode::kHybrid}) {
+      const ExecResult r = run(t, mode, workers);
+      // Naive inserts 4 items (2 per ordering) per internal node; hybrid
+      // inserts 8 items per steal.
+      const std::uint64_t inserts =
+          mode == Mode::kNaive
+              ? 4 * (t.node_count() - t.leaf_count())
+              : r.om_inserts;
+      const double per_insert =
+          inserts == 0 ? 0
+                       : static_cast<double>(r.lock_wait_ns) /
+                             static_cast<double>(inserts);
+      table.add_row({mode == Mode::kNaive ? "naive" : "sp-hybrid",
+                     std::to_string(workers),
+                     spr::util::fmt_ns(r.elapsed_s * 1e9),
+                     std::to_string(inserts),
+                     spr::util::fmt_ns(static_cast<double>(r.lock_wait_ns)),
+                     spr::util::fmt_double(per_insert, 1) + " ns",
+                     std::to_string(r.steals)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (paper): naive's locked insertions scale with "
+               "T1 and its lock\nwaiting grows with P; sp-hybrid's locked "
+               "insertions scale with steals\n(O(P*Tinf) << T1) and its "
+               "lock waiting stays near zero.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Order-maintenance micro-benchmarks (the Section 2/4 substrate), using
+// google-benchmark: insertion patterns and query costs for the one-level
+// list, the two-level O(1)-amortized list, and the concurrent (global-tier)
+// list, plus the relabeling-work counters behind the amortization claims.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "om/concurrent_om.hpp"
+#include "om/labeled_list.hpp"
+#include "om/order_list.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+template <typename List>
+void insert_append(benchmark::State& state) {
+  for (auto _ : state) {
+    List list;
+    auto* prev = list.insert_front();
+    for (std::int64_t i = 1; i < state.range(0); ++i)
+      prev = list.insert_after(prev);
+    benchmark::DoNotOptimize(prev);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+template <typename List>
+void insert_adversarial(benchmark::State& state) {
+  std::uint64_t moved = 0, inserts = 0;
+  for (auto _ : state) {
+    List list;
+    auto* pivot = list.insert_front();
+    for (std::int64_t i = 1; i < state.range(0); ++i)
+      benchmark::DoNotOptimize(list.insert_after(pivot));
+    if constexpr (requires { list.stats().items_moved; }) {
+      moved += list.stats().items_moved;
+      inserts += list.stats().inserts;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  if (inserts != 0)
+    state.counters["moved_per_insert"] =
+        static_cast<double>(moved) / static_cast<double>(inserts);
+}
+
+template <typename List>
+void insert_random(benchmark::State& state) {
+  for (auto _ : state) {
+    spr::util::Xoshiro256 rng(99);
+    List list;
+    std::vector<typename List::Item*> items;
+    items.push_back(list.insert_front());
+    for (std::int64_t i = 1; i < state.range(0); ++i)
+      items.push_back(list.insert_after(items[rng.next_below(items.size())]));
+    benchmark::DoNotOptimize(items.back());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_LabeledList_Append(benchmark::State& s) {
+  insert_append<spr::om::LabeledList>(s);
+}
+void BM_OrderList_Append(benchmark::State& s) {
+  insert_append<spr::om::OrderList>(s);
+}
+void BM_LabeledList_Adversarial(benchmark::State& s) {
+  insert_adversarial<spr::om::LabeledList>(s);
+}
+void BM_OrderList_Adversarial(benchmark::State& s) {
+  insert_adversarial<spr::om::OrderList>(s);
+}
+void BM_LabeledList_Random(benchmark::State& s) {
+  insert_random<spr::om::LabeledList>(s);
+}
+void BM_OrderList_Random(benchmark::State& s) {
+  insert_random<spr::om::OrderList>(s);
+}
+
+void BM_OrderList_Query(benchmark::State& state) {
+  spr::util::Xoshiro256 rng(7);
+  spr::om::OrderList list;
+  std::vector<spr::om::OrderList::Item*> items;
+  items.push_back(list.insert_front());
+  for (std::int64_t i = 1; i < state.range(0); ++i)
+    items.push_back(list.insert_after(items[rng.next_below(items.size())]));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto a = rng.next_below(items.size());
+    const auto b = rng.next_below(items.size());
+    hits += list.precedes(items[a], items[b]) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ConcurrentOm_Insert(benchmark::State& state) {
+  for (auto _ : state) {
+    spr::om::ConcurrentOrderList list;
+    auto* pivot = list.insert_after(list.base());
+    for (std::int64_t i = 1; i < state.range(0); ++i)
+      benchmark::DoNotOptimize(list.insert_after(pivot));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ConcurrentOm_LockFreeQuery(benchmark::State& state) {
+  spr::util::Xoshiro256 rng(13);
+  spr::om::ConcurrentOrderList list;
+  std::vector<spr::om::ConcurrentOrderList::Item*> items;
+  items.push_back(list.insert_after(list.base()));
+  for (int i = 1; i < 4096; ++i)
+    items.push_back(list.insert_after(
+        items[rng.next_below(items.size())]));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto a = rng.next_below(items.size());
+    const auto b = rng.next_below(items.size());
+    hits += list.precedes(items[a], items[b]) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_LabeledList_Append)->Arg(1 << 16);
+BENCHMARK(BM_OrderList_Append)->Arg(1 << 16);
+BENCHMARK(BM_LabeledList_Adversarial)->Arg(1 << 16);
+BENCHMARK(BM_OrderList_Adversarial)->Arg(1 << 16);
+BENCHMARK(BM_LabeledList_Random)->Arg(1 << 16);
+BENCHMARK(BM_OrderList_Random)->Arg(1 << 16);
+BENCHMARK(BM_OrderList_Query)->Arg(1 << 16);
+BENCHMARK(BM_ConcurrentOm_Insert)->Arg(1 << 14);
+BENCHMARK(BM_ConcurrentOm_LockFreeQuery);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Theorem 10 reproduction: SP-hybrid executes a fork-join program with n
+// threads, T1 work and critical path Tinf in O((T1/P + P*Tinf) lg n)
+// expected time on P processors, with O(P*Tinf) steals.
+//
+// The harness runs the same computation in plain mode (the underlying
+// T_P baseline) and hybrid mode across P, reporting wall-clock, speedup,
+// SP-maintenance overhead, and the bucket quantities of the proof:
+//   B2 ~ global OM inserts (8 per steal), B4 ~ lock waiting,
+//   B5 ~ failed lock-free query attempts, steals vs the P*Tinf bound.
+// Also checks |C| = 4s + 1 on every run.
+//
+// Hardware note: this container exposes 2 cores; P=4 is oversubscribed and
+// reported for completeness.
+
+#include <iostream>
+#include <string>
+
+#include "fjprog/generators.hpp"
+#include "fjprog/lower.hpp"
+#include "sphybrid/executor.hpp"
+#include "sptree/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spr::hybrid::ExecOptions;
+using spr::hybrid::ExecResult;
+using spr::hybrid::Mode;
+
+ExecResult best_of(const spr::tree::ParseTree& t, const ExecOptions& opts,
+                   int reps) {
+  ExecResult best;
+  best.elapsed_s = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    ExecOptions o = opts;
+    o.seed = opts.seed + static_cast<std::uint64_t>(r);
+    ExecResult res = spr::hybrid::run_parallel(t, o);
+    if (res.elapsed_s < best.elapsed_s) best = std::move(res);
+  }
+  return best;
+}
+
+void bench_tree(const std::string& name, const spr::tree::ParseTree& t) {
+  const auto m = spr::tree::compute_metrics(t);
+  std::cout << "\n-- " << name << ": n=" << m.threads << ", T1=" << m.work
+            << ", Tinf=" << m.span << ", T1/Tinf=" << m.work / m.span
+            << " --\n";
+  spr::util::Table table({"P", "plain T_P", "hybrid T_P", "overhead",
+                          "speedup(hybrid)", "steals", "P*Tinf",
+                          "traces(=4s+1)", "OM ins", "lock wait",
+                          "qry retries"});
+  double hybrid_p1 = 0;
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    ExecOptions plain;
+    plain.workers = workers;
+    plain.mode = Mode::kPlain;
+    const ExecResult rp = best_of(t, plain, 3);
+
+    ExecOptions hyb;
+    hyb.workers = workers;
+    hyb.mode = Mode::kHybrid;
+    hyb.queries_per_leaf = 2;
+    const ExecResult rh = best_of(t, hyb, 3);
+    if (workers == 1) hybrid_p1 = rh.elapsed_s;
+
+    const bool ok = rh.traces == 4 * rh.splits + 1;
+    table.add_row(
+        {std::to_string(workers), spr::util::fmt_ns(rp.elapsed_s * 1e9),
+         spr::util::fmt_ns(rh.elapsed_s * 1e9),
+         spr::util::fmt_double(rh.elapsed_s / rp.elapsed_s, 2) + "x",
+         spr::util::fmt_double(hybrid_p1 / rh.elapsed_s, 2) + "x",
+         std::to_string(rh.steals),
+         std::to_string(workers * m.span),
+         std::to_string(rh.traces) + (ok ? "" : " VIOLATION"),
+         std::to_string(rh.om_inserts),
+         spr::util::fmt_ns(static_cast<double>(rh.lock_wait_ns)),
+         std::to_string(rh.query_retries)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Theorem 10 — SP-hybrid: O((T1/P + P*Tinf) lg n) expected "
+               "time, O(P*Tinf) steals\n"
+            << "(2 SP queries per thread; best of 3 runs per cell)\n";
+  bench_tree("fib(24), 64 work/thread", spr::fj::lower_to_parse_tree(
+                                            spr::fj::make_fib(24, 64)));
+  bench_tree("balanced(15), 128 work/thread",
+             spr::fj::lower_to_parse_tree(spr::fj::make_balanced(15, 128)));
+  std::cout
+      << "\nShape check (paper): hybrid overhead vs plain is a modest "
+         "constant factor at\nfixed P (the lg n factor); steals stay well "
+         "below the O(P*Tinf) bound; hybrid\nspeeds up with P on ample "
+         "parallelism (T1/Tinf >> P).\n";
+  return 0;
+}
