@@ -1,0 +1,123 @@
+#pragma once
+// One-level labeled list: the naive order-maintenance baseline the
+// two-level OrderList is benchmarked against. Every item carries a single
+// 64-bit label; inserts take the midpoint of the neighboring labels and a
+// gap collision relabels the entire list evenly. Queries are one integer
+// compare; adversarial insertion patterns degrade inserts toward O(n)
+// (visible in the moved_per_insert counter), which is exactly the contrast
+// om_micro.cpp draws.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spr::om {
+
+class LabeledList {
+ public:
+  struct Stats {
+    std::uint64_t inserts = 0;
+    std::uint64_t items_moved = 0;
+    std::uint64_t full_relabels = 0;
+  };
+
+  struct Item {
+    std::uint64_t label = 0;
+    Item* prev = nullptr;
+    Item* next = nullptr;
+  };
+
+  LabeledList() = default;
+  LabeledList(const LabeledList&) = delete;
+  LabeledList& operator=(const LabeledList&) = delete;
+
+  ~LabeledList() {
+    Item* it = head_;
+    while (it != nullptr) {
+      Item* nx = it->next;
+      delete it;
+      it = nx;
+    }
+  }
+
+  Item* insert_front() {
+    if (head_ == nullptr) {
+      Item* item = new_item(kMax / 2);
+      head_ = tail_ = item;
+      finish_insert();
+      return item;
+    }
+    if (head_->label < 2) relabel_all(size_ + 1);
+    Item* item = new_item(head_->label / 2);
+    item->next = head_;
+    head_->prev = item;
+    head_ = item;
+    finish_insert();
+    return item;
+  }
+
+  Item* insert_after(Item* x) {
+    const std::uint64_t hi = x->next != nullptr ? x->next->label : kMax;
+    if (hi - x->label < 2) relabel_all(size_ + 1);
+    const std::uint64_t hi2 = x->next != nullptr ? x->next->label : kMax;
+    Item* item = new_item(x->label + (hi2 - x->label) / 2);
+    item->prev = x;
+    item->next = x->next;
+    if (x->next != nullptr)
+      x->next->prev = item;
+    else
+      tail_ = item;
+    x->next = item;
+    finish_insert();
+    return item;
+  }
+
+  Item* insert_before(Item* x) {
+    if (x->prev != nullptr) return insert_after(x->prev);
+    return insert_front();
+  }
+
+  bool precedes(const Item* a, const Item* b) const {
+    return a->label < b->label;
+  }
+
+  std::size_t size() const { return size_; }
+  const Stats& stats() const { return stats_; }
+  Item* front() const { return head_; }
+  static Item* successor(Item* x) { return x->next; }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + size_ * sizeof(Item);
+  }
+
+ private:
+  static constexpr std::uint64_t kMax = ~0ULL;
+
+  Item* new_item(std::uint64_t label) {
+    Item* it = new Item;
+    it->label = label;
+    return it;
+  }
+
+  void finish_insert() {
+    ++size_;
+    ++stats_.inserts;
+  }
+
+  void relabel_all(std::size_t upcoming) {
+    const std::uint64_t stride = kMax / (upcoming + 1);
+    std::uint64_t label = stride;
+    for (Item* it = head_; it != nullptr; it = it->next) {
+      it->label = label;
+      label += stride;
+      ++stats_.items_moved;
+    }
+    ++stats_.full_relabels;
+  }
+
+  Item* head_ = nullptr;
+  Item* tail_ = nullptr;
+  std::size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace spr::om

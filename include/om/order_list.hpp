@@ -1,0 +1,279 @@
+#pragma once
+// Two-level order-maintenance list with amortized O(1) insert and O(1)
+// worst-case order queries (Bender et al. style; Section 2 of the paper
+// uses this as the substrate for SP-order).
+//
+// Items live in buckets of at most kBucketCap elements. Each item carries
+// a 64-bit local label unique within its bucket; each bucket carries a
+// 64-bit top label maintained by density-based range relabeling. An order
+// query compares (bucket label, item label) lexicographically. Inserting
+// into a full bucket splits it; a split inserts one bucket label into the
+// top level, whose relabeling cost amortizes to O(lg n) per split, i.e.
+// O(lg n / kBucketCap) = O(1) per item insert for any practical n.
+//
+// Item pointers are stable for the lifetime of the list: relabeling
+// rewrites label fields and bucket links but never moves or frees nodes.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spr::om {
+
+class OrderList {
+ public:
+  struct Stats {
+    std::uint64_t inserts = 0;        ///< items inserted
+    std::uint64_t items_moved = 0;    ///< item+bucket label rewrites
+    std::uint64_t bucket_splits = 0;  ///< bottom-level splits
+    std::uint64_t top_relabels = 0;   ///< top-level range relabel events
+  };
+
+  struct Bucket;
+
+  struct Item {
+    std::uint64_t label = 0;
+    Item* prev = nullptr;  ///< within bucket
+    Item* next = nullptr;  ///< within bucket
+    Bucket* bucket = nullptr;
+  };
+
+  struct Bucket {
+    std::uint64_t label = 0;
+    Bucket* prev = nullptr;
+    Bucket* next = nullptr;
+    Item* first = nullptr;
+    Item* last = nullptr;
+    std::uint32_t count = 0;
+  };
+
+  OrderList() = default;
+  OrderList(const OrderList&) = delete;
+  OrderList& operator=(const OrderList&) = delete;
+
+  ~OrderList() {
+    Bucket* b = head_;
+    while (b != nullptr) {
+      Item* it = b->first;
+      while (it != nullptr) {
+        Item* nx = it->next;
+        delete it;
+        it = nx;
+      }
+      Bucket* nb = b->next;
+      delete b;
+      b = nb;
+    }
+  }
+
+  /// Inserts a new first item.
+  Item* insert_front() {
+    if (head_ == nullptr) return insert_into_empty();
+    Bucket* b = head_;
+    if (b->count >= kBucketCap) {
+      split(b);
+      b = head_;
+    }
+    Item* f = b->first;
+    if (f->label < 2) {
+      rebalance(b);
+      f = b->first;
+    }
+    Item* item = new_item(f->label / 2, b);
+    item->next = f;
+    f->prev = item;
+    b->first = item;
+    ++b->count;
+    ++size_;
+    ++stats_.inserts;
+    return item;
+  }
+
+  /// Inserts a new item immediately after `x`.
+  Item* insert_after(Item* x) {
+    Bucket* b = x->bucket;
+    if (b->count >= kBucketCap) {
+      split(b);
+      b = x->bucket;  // x may now live in the new right half
+    }
+    Item* succ = x->next;
+    const std::uint64_t hi = succ != nullptr ? succ->label : kLocalMax;
+    if (hi - x->label < 2) {
+      rebalance(b);
+      succ = x->next;
+    }
+    const std::uint64_t hi2 = succ != nullptr ? succ->label : kLocalMax;
+    Item* item = new_item(x->label + (hi2 - x->label) / 2, b);
+    item->prev = x;
+    item->next = succ;
+    x->next = item;
+    if (succ != nullptr)
+      succ->prev = item;
+    else
+      b->last = item;
+    ++b->count;
+    ++size_;
+    ++stats_.inserts;
+    return item;
+  }
+
+  /// Inserts a new item immediately before `x`.
+  Item* insert_before(Item* x) {
+    if (x->prev != nullptr) return insert_after(x->prev);
+    Bucket* pb = x->bucket->prev;
+    if (pb != nullptr) return insert_after(pb->last);
+    return insert_front();
+  }
+
+  /// True iff `a` is strictly before `b` in the maintained order.
+  bool precedes(const Item* a, const Item* b) const {
+    if (a->bucket != b->bucket) return a->bucket->label < b->bucket->label;
+    return a->label < b->label;
+  }
+
+  std::size_t size() const { return size_; }
+  const Stats& stats() const { return stats_; }
+
+  Item* front() const { return head_ != nullptr ? head_->first : nullptr; }
+
+  /// Global successor (crossing bucket boundaries); nullptr at the end.
+  static Item* successor(Item* x) {
+    if (x->next != nullptr) return x->next;
+    Bucket* nb = x->bucket->next;
+    return nb != nullptr ? nb->first : nullptr;
+  }
+
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + size_ * sizeof(Item) + buckets_ * sizeof(Bucket);
+  }
+
+ private:
+  static constexpr std::uint32_t kBucketCap = 64;
+  static constexpr std::uint64_t kLocalMax = ~0ULL;
+  static constexpr std::uint64_t kTopMax = 1ULL << 62;  // top label universe
+
+  Item* new_item(std::uint64_t label, Bucket* b) {
+    Item* it = new Item;
+    it->label = label;
+    it->bucket = b;
+    return it;
+  }
+
+  Item* insert_into_empty() {
+    Bucket* b = new Bucket;
+    b->label = kTopMax / 2;
+    head_ = tail_ = b;
+    ++buckets_;
+    Item* item = new_item(kLocalMax / 2, b);
+    b->first = b->last = item;
+    b->count = 1;
+    size_ = 1;
+    ++stats_.inserts;
+    return item;
+  }
+
+  /// Re-spaces all local labels of `b` evenly across the label universe.
+  void rebalance(Bucket* b) {
+    const std::uint64_t stride = kLocalMax / (b->count + 1);
+    std::uint64_t label = stride;
+    for (Item* it = b->first; it != nullptr; it = it->next) {
+      it->label = label;
+      label += stride;
+      ++stats_.items_moved;
+    }
+  }
+
+  /// Splits `b` into two buckets of half the items each, re-spacing local
+  /// labels in both and inserting the new bucket's top label.
+  void split(Bucket* b) {
+    ++stats_.bucket_splits;
+    Bucket* nb = new Bucket;
+    ++buckets_;
+    // Move the latter half of b's items into nb (relinking only; item
+    // nodes stay put so external pointers survive).
+    const std::uint32_t keep = b->count / 2;
+    Item* it = b->first;
+    for (std::uint32_t i = 1; i < keep; ++i) it = it->next;
+    nb->first = it->next;
+    nb->last = b->last;
+    nb->count = b->count - keep;
+    b->last = it;
+    b->count = keep;
+    it->next = nullptr;
+    nb->first->prev = nullptr;
+    for (Item* m = nb->first; m != nullptr; m = m->next) m->bucket = nb;
+    // Link nb after b in the bucket list.
+    nb->prev = b;
+    nb->next = b->next;
+    if (b->next != nullptr)
+      b->next->prev = nb;
+    else
+      tail_ = nb;
+    b->next = nb;
+    assign_top_label(b, nb);
+    rebalance(b);
+    rebalance(nb);
+  }
+
+  /// Gives the freshly linked `nb` (successor of `b`) a top label, doing a
+  /// density-based range relabel when the gap to the next bucket is gone.
+  void assign_top_label(Bucket* b, Bucket* nb) {
+    const std::uint64_t lo = b->label;
+    const std::uint64_t hi = nb->next != nullptr ? nb->next->label : kTopMax;
+    if (hi - lo >= 2) {
+      nb->label = lo + (hi - lo) / 2;
+      return;
+    }
+    // Find the smallest aligned window [base, base + 2^i) around b whose
+    // occupancy (including nb) is below the level's overflow threshold,
+    // then spread those buckets evenly across it. Thresholds decay
+    // geometrically with window size (tau = 2^(1/4)) — the classic
+    // list-labeling requirement that makes the relabeling cost amortize
+    // to O(lg n) per top-level insert instead of degrading quadratically
+    // under single-point insertion storms.
+    for (int i = 6; i <= 62; ++i) {
+      const std::uint64_t width = 1ULL << i;
+      const std::uint64_t base = lo & ~(width - 1);
+      Bucket* first = b;
+      std::uint64_t count = 2;  // b and nb
+      while (first->prev != nullptr && first->prev->label >= base) {
+        first = first->prev;
+        ++count;
+      }
+      Bucket* last = nb;
+      while (last->next != nullptr && last->next->label - base < width) {
+        last = last->next;
+        ++count;
+      }
+      if (count + 1 <= (width >> 1) && count <= (width >> (i / 4))) {
+        const std::uint64_t stride = width / (count + 1);
+        std::uint64_t label = base + stride;
+        for (Bucket* cur = first;; cur = cur->next) {
+          cur->label = label;
+          label += stride;
+          ++stats_.items_moved;
+          if (cur == last) break;
+        }
+        ++stats_.top_relabels;
+        return;
+      }
+    }
+    // Unreachable for any feasible list size (2^61 buckets); renumber all
+    // buckets as a last resort.
+    std::uint64_t label = 1;
+    const std::uint64_t stride = kTopMax / (buckets_ + 1);
+    for (Bucket* cur = head_; cur != nullptr; cur = cur->next) {
+      cur->label = label;
+      label += stride;
+      ++stats_.items_moved;
+    }
+    ++stats_.top_relabels;
+  }
+
+  Bucket* head_ = nullptr;
+  Bucket* tail_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t buckets_ = 0;
+  Stats stats_;
+};
+
+}  // namespace spr::om

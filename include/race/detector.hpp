@@ -1,0 +1,137 @@
+#pragma once
+// Serial on-the-fly determinacy-race detection (Corollary 6): execute the
+// program serially, keep a shadow cell per memory location, and ask the
+// SP-maintenance backend whether the previous accessors are serial with
+// the current thread. With SP-order each query is Theta(1), so the whole
+// detection runs in O(T1); SP-bags gives the Theta(alpha) Nondeterminator
+// bound.
+//
+// Shadow protocol (per location): the last writer plus two readers — the
+// most recent reader and a sticky reader kept from an earlier parallel
+// branch. A write must be serial with the stored writer and both readers;
+// a read must be serial with the stored writer. On a serial walk this
+// flags a race for every program whose dag has a conflicting parallel
+// pair on the locations it touches, and never flags a race-free program
+// (any reported pair really is parallel and conflicting).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sptree/sp_maintenance.hpp"
+#include "sptree/walk.hpp"
+#include "util/timing.hpp"
+
+namespace spr::race {
+
+struct RaceReport {
+  std::uint64_t race_count = 0;
+  std::uint64_t queries = 0;  ///< precedes() calls issued by the protocol
+  bool has_race() const { return race_count > 0; }
+};
+
+struct ShadowCell {
+  tree::ThreadId writer = tree::kNoThread;
+  tree::ThreadId reader1 = tree::kNoThread;  ///< most recent reader
+  tree::ThreadId reader2 = tree::kNoThread;  ///< sticky parallel reader
+};
+
+class ShadowMemory {
+ public:
+  ShadowCell& cell(std::uint64_t loc) { return cells_[loc]; }
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, ShadowCell> cells_;
+};
+
+/// Applies one access by thread `v` to a shadow cell, bumping
+/// `race_count` per conflicting parallel accessor. `serial(u, v)` must
+/// return whether u is serial with v (treating "no thread" and u == v as
+/// serial). Shared by the serial detector and the SP-hybrid executor so
+/// the protocol cannot diverge between them.
+template <typename SerialFn>
+inline void shadow_apply(ShadowCell& c, const tree::Access& a,
+                         tree::ThreadId v, SerialFn&& serial,
+                         std::uint64_t& race_count) {
+  if (a.write) {
+    if (!serial(c.writer, v)) ++race_count;
+    if (!serial(c.reader1, v)) ++race_count;
+    if (!serial(c.reader2, v)) ++race_count;
+    // The write dominates: any future conflict with the overwritten
+    // accessors is also a conflict with v.
+    c.writer = v;
+    c.reader1 = c.reader2 = tree::kNoThread;
+  } else {
+    if (!serial(c.writer, v)) ++race_count;
+    if (c.reader1 == tree::kNoThread || serial(c.reader1, v)) {
+      c.reader1 = v;
+    } else {
+      // reader1 is parallel to v: keep it sticky in reader2 (it can
+      // still race a later writer that v is serial with) and make v the
+      // recent reader.
+      if (c.reader2 == tree::kNoThread || serial(c.reader2, v))
+        c.reader2 = c.reader1;
+      c.reader1 = v;
+    }
+  }
+}
+
+namespace detail {
+
+class DetectVisitor final : public tree::WalkVisitor {
+ public:
+  DetectVisitor(const tree::ParseTree& t, tree::SpMaintenance& algo)
+      : tree_(t), algo_(algo) {}
+
+  void enter_internal(const tree::Node& n) override {
+    algo_.enter_internal(n);
+  }
+  void between_children(const tree::Node& n) override {
+    algo_.between_children(n);
+  }
+  void leave_internal(const tree::Node& n) override {
+    algo_.leave_internal(n);
+  }
+  void leave_leaf(const tree::Node& n) override { algo_.leave_leaf(n); }
+
+  void visit_leaf(const tree::Node& n) override {
+    algo_.visit_leaf(n);
+    checksum ^= util::spin_work(n.work);
+    const tree::ThreadId v = n.thread;
+    for (const tree::Access& a : tree_.accesses(v)) {
+      shadow_apply(
+          shadow_.cell(a.loc), a, v,
+          [this](tree::ThreadId u, tree::ThreadId w) { return serial(u, w); },
+          report.race_count);
+    }
+  }
+
+  RaceReport report;
+  std::uint64_t checksum = 0;
+
+ private:
+  bool serial(tree::ThreadId u, tree::ThreadId v) {
+    if (u == tree::kNoThread || u == v) return true;
+    ++report.queries;
+    return algo_.precedes(u, v);
+  }
+
+  const tree::ParseTree& tree_;
+  tree::SpMaintenance& algo_;
+  ShadowMemory shadow_;
+};
+
+}  // namespace detail
+
+/// Runs serial on-the-fly determinacy-race detection over `t`, using a
+/// fresh `algo` (any SpMaintenance backend) for SP queries.
+inline RaceReport detect_races(const tree::ParseTree& t,
+                               tree::SpMaintenance& algo) {
+  detail::DetectVisitor v(t, algo);
+  serial_walk(t, v);
+  util::do_not_optimize(v.checksum);
+  return v.report;
+}
+
+}  // namespace spr::race

@@ -1,0 +1,88 @@
+#pragma once
+// SP-bags, procedure-bag formulation (closer to Feng-Leiserson 1997's
+// Nondeterminator bookkeeping): every open parse-tree node keeps an
+// explicit S-bag and P-bag, each a single union-find set. A completed
+// subtree "returns" its merged set to the enclosing frame, which files it
+// into the S-bag (series composition: precedes the rest of the frame) or
+// the P-bag (parallel composition). sync corresponds to leaving the
+// node: both bags collapse into the returned set.
+//
+// Answers the same queries as SpBags (completed u vs current v) with the
+// same Theta(alpha) bounds; it exists as the FL97-flavored comparison
+// point in the Figure 3 bench.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "spbags/dsu.hpp"
+#include "sptree/sp_maintenance.hpp"
+
+namespace spr::bags {
+
+class SpBagsProc : public tree::SpMaintenance {
+ public:
+  explicit SpBagsProc(const tree::ParseTree& t,
+                      bool path_compression = true)
+      : dsu_(t.leaf_count(), path_compression),
+        serial_flag_(t.leaf_count(), 0) {
+    frames_.reserve(64);
+  }
+
+  void enter_internal(const tree::Node&) override {
+    frames_.push_back(Frame{});
+  }
+
+  void leave_leaf(const tree::Node& n) override { returned_ = n.thread; }
+
+  void between_children(const tree::Node& n) override {
+    Frame& f = frames_.back();
+    if (n.kind == tree::NodeKind::kSeries)
+      file_into(f.sbag, /*serial=*/true);
+    else
+      file_into(f.pbag, /*serial=*/false);
+  }
+
+  void leave_internal(const tree::Node&) override {
+    // sync: S-bag, P-bag and the right child's returned set collapse.
+    Frame f = frames_.back();
+    frames_.pop_back();
+    std::uint32_t r = returned_;
+    if (f.sbag != kNone) r = dsu_.unite(r, f.sbag);
+    if (f.pbag != kNone) r = dsu_.unite(r, f.pbag);
+    returned_ = r;
+  }
+
+  bool precedes(tree::ThreadId u, tree::ThreadId v) override {
+    if (u == v) return false;
+    return serial_flag_[dsu_.find(u)] != 0;
+  }
+
+  std::size_t memory_bytes() const override {
+    return sizeof(*this) + dsu_.memory_bytes() +
+           serial_flag_.capacity() * sizeof(std::uint8_t) +
+           frames_.capacity() * sizeof(Frame);
+  }
+
+  const DisjointSets& dsu() const { return dsu_; }
+
+ private:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Frame {
+    std::uint32_t sbag = kNone;
+    std::uint32_t pbag = kNone;
+  };
+
+  void file_into(std::uint32_t& bag, bool serial) {
+    bag = bag == kNone ? dsu_.find(returned_) : dsu_.unite(bag, returned_);
+    serial_flag_[bag] = serial ? 1 : 0;
+  }
+
+  DisjointSets dsu_;
+  std::vector<std::uint8_t> serial_flag_;
+  std::vector<Frame> frames_;
+  std::uint32_t returned_ = 0;  ///< set of the last completed subtree
+};
+
+}  // namespace spr::bags

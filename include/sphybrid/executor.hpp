@@ -1,0 +1,157 @@
+#pragma once
+// SP-hybrid execution harness (Sections 3-6). The real SP-hybrid runs a
+// work-stealing scheduler whose traces keep SP-bags locally and touch the
+// shared order-maintenance structure only on steals.
+//
+// ROADMAP open item: this is the *serial reference implementation* — it
+// executes the program in English order on the calling thread regardless
+// of `workers`, maintains a full SP-order (global structure), and models
+// the naive-vs-hybrid contrast through its counters:
+//   kNaive  locks every OM insertion (the Theta(T1) locked operations of
+//           Section 3) and accumulates the measured lock wait;
+//   kHybrid performs no locked insertions because a serial run never
+//           steals (steals = splits = 0, traces = 4*splits + 1 = 1).
+// All Theorem 10 accounting identities hold degenerately, so the benches
+// run and verify; the parallel scheduler replaces this file wholesale.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "race/detector.hpp"
+#include "spbags/dsu.hpp"
+#include "sporder/sp_order.hpp"
+#include "sptree/sp_maintenance.hpp"
+#include "sptree/walk.hpp"
+#include "util/rng.hpp"
+#include "util/timing.hpp"
+
+namespace spr::hybrid {
+
+enum class Mode : std::uint8_t {
+  kPlain,   ///< no SP maintenance: the T_P baseline
+  kNaive,   ///< one shared OM structure, every insertion locked
+  kHybrid,  ///< SP-hybrid: locked insertions only on steals
+};
+
+struct ExecOptions {
+  unsigned workers = 1;
+  Mode mode = Mode::kPlain;
+  std::uint32_t queries_per_leaf = 0;
+  std::uint64_t seed = 1;
+  bool detect_races = false;
+  bags::AtomicDisjointSets::Mode dsu_mode =
+      bags::AtomicDisjointSets::Mode::kRankOnly;
+};
+
+struct ExecResult {
+  double elapsed_s = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t traces = 1;  ///< |C| = 4 * splits + 1 (Lemma, Section 5)
+  std::uint64_t queries = 0;
+  std::uint64_t om_inserts = 0;     ///< locked global-tier insertions
+  std::uint64_t lock_wait_ns = 0;   ///< time spent waiting on the lock
+  std::uint64_t query_retries = 0;  ///< failed lock-free query attempts
+  std::uint64_t race_count = 0;
+  std::uint64_t checksum = 0;
+  bool has_race() const { return race_count > 0; }
+};
+
+namespace detail {
+
+/// Serial driver: executes leaf work, maintains SP-order, issues the
+/// configured per-leaf queries, and (optionally) runs the shadow-memory
+/// race-detection protocol.
+class SerialDriver final : public tree::WalkVisitor {
+ public:
+  SerialDriver(const tree::ParseTree& t, const ExecOptions& o,
+               ExecResult& r)
+      : tree_(t), opts_(o), result_(r), rng_(o.seed) {
+    if (o.mode != Mode::kPlain || o.detect_races)
+      algo_ = std::make_unique<order::SpOrder>(t);
+  }
+
+  void enter_internal(const tree::Node& n) override {
+    if (algo_ == nullptr) return;
+    if (opts_.mode == Mode::kNaive) {
+      // Section 3's naive scheme: every OM insertion takes the global
+      // lock. One internal node splits both orderings.
+      const util::Stopwatch sw;
+      std::lock_guard<std::mutex> lock(om_mutex_);
+      result_.lock_wait_ns += static_cast<std::uint64_t>(sw.elapsed_ns());
+      result_.om_inserts += 4;
+      algo_->enter_internal(n);
+    } else {
+      algo_->enter_internal(n);
+    }
+  }
+  void between_children(const tree::Node& n) override {
+    if (algo_ != nullptr) algo_->between_children(n);
+  }
+  void leave_internal(const tree::Node& n) override {
+    if (algo_ != nullptr) algo_->leave_internal(n);
+  }
+  void leave_leaf(const tree::Node& n) override {
+    if (algo_ != nullptr) algo_->leave_leaf(n);
+  }
+
+  void visit_leaf(const tree::Node& n) override {
+    if (algo_ != nullptr) algo_->visit_leaf(n);
+    result_.checksum ^= util::spin_work(n.work);
+    const tree::ThreadId v = n.thread;
+    for (std::uint32_t q = 0; q < opts_.queries_per_leaf && v > 0; ++q) {
+      const auto u = static_cast<tree::ThreadId>(rng_.next_below(v));
+      if (algo_ != nullptr)
+        result_.checksum += algo_->precedes(u, v) ? 1 : 0;
+      ++result_.queries;
+    }
+    if (opts_.detect_races && algo_ != nullptr) detect(v);
+  }
+
+ private:
+  void detect(tree::ThreadId v) {
+    for (const tree::Access& a : tree_.accesses(v)) {
+      race::shadow_apply(
+          shadow_.cell(a.loc), a, v,
+          [this](tree::ThreadId u, tree::ThreadId w) { return serial(u, w); },
+          result_.race_count);
+    }
+  }
+
+  bool serial(tree::ThreadId u, tree::ThreadId v) {
+    if (u == tree::kNoThread || u == v) return true;
+    ++result_.queries;
+    return algo_->precedes(u, v);
+  }
+
+  const tree::ParseTree& tree_;
+  const ExecOptions& opts_;
+  ExecResult& result_;
+  util::Xoshiro256 rng_;
+  std::unique_ptr<order::SpOrder> algo_;
+  std::mutex om_mutex_;
+  race::ShadowMemory shadow_;
+};
+
+}  // namespace detail
+
+/// Executes `t` under the requested mode and returns timing + the
+/// Theorem 10 accounting counters. Serial reference implementation: see
+/// the file header; `workers` and `dsu_mode` only affect bookkeeping
+/// until the parallel scheduler lands.
+inline ExecResult run_parallel(const tree::ParseTree& t,
+                               const ExecOptions& o) {
+  ExecResult r;
+  detail::SerialDriver driver(t, o, r);
+  const util::Stopwatch sw;
+  serial_walk(t, driver);
+  r.elapsed_s = sw.elapsed_s();
+  r.steals = 0;
+  r.splits = 0;
+  r.traces = 4 * r.splits + 1;
+  util::do_not_optimize(r.checksum);
+  return r;
+}
+
+}  // namespace spr::hybrid

@@ -1,0 +1,96 @@
+#pragma once
+// SP-order (Sections 2-3 of the paper): on-the-fly SP maintenance with
+// Theta(1) time per thread creation and Theta(1) time per query, using two
+// order-maintenance lists holding an English and a Hebrew ordering of the
+// threads.
+//
+// Every subtree of the SP parse tree owns one item in each list. When the
+// walk enters an internal node X whose subtree owns items (e, h), the two
+// child subtrees split them:
+//   English (serial order): left keeps e, right gets insert_after(e) —
+//     for both S- and P-nodes, since English order is the serial order.
+//   Hebrew: for an S-node, left keeps h and right gets insert_after(h);
+//     for a P-node the children swap — right keeps h and left gets
+//     insert_after(h) — so parallel siblings appear in the *opposite*
+//     order in the Hebrew list.
+// All descendants' items are inserted immediately after their subtree's
+// base item, so the region between a subtree's item and its right
+// neighbor stays contiguous; the split rule above is exactly Theta(1) OM
+// inserts per parse-tree node (Theorem 5: O(n) total construction).
+//
+// Query (Theorem 4's characterization): for threads u != v,
+//   u precedes v  iff  Eng(u) < Eng(v) and Heb(u) < Heb(v);
+// if the two lists disagree, LCA(u, v) is a P-node and u || v.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "om/order_list.hpp"
+#include "sptree/sp_maintenance.hpp"
+
+namespace spr::order {
+
+class SpOrder : public tree::SpMaintenance {
+ public:
+  explicit SpOrder(const tree::ParseTree& t) : tree_(t) {
+    node_slots_.resize(t.node_count());
+    thread_slots_.resize(t.leaf_count());
+    if (t.root() != tree::kNoNode) {
+      Slot& root = node_slots_[static_cast<std::size_t>(t.root())];
+      root.eng = english_.insert_front();
+      root.heb = hebrew_.insert_front();
+    }
+  }
+
+  void enter_internal(const tree::Node& n) override {
+    const Slot base = node_slots_[static_cast<std::size_t>(n.id)];
+    Slot& left = node_slots_[static_cast<std::size_t>(n.left)];
+    Slot& right = node_slots_[static_cast<std::size_t>(n.right)];
+    left.eng = base.eng;
+    right.eng = english_.insert_after(base.eng);
+    if (n.kind == tree::NodeKind::kSeries) {
+      left.heb = base.heb;
+      right.heb = hebrew_.insert_after(base.heb);
+    } else {
+      right.heb = base.heb;
+      left.heb = hebrew_.insert_after(base.heb);
+    }
+  }
+
+  void visit_leaf(const tree::Node& n) override {
+    thread_slots_[n.thread] = node_slots_[static_cast<std::size_t>(n.id)];
+  }
+
+  bool precedes(tree::ThreadId u, tree::ThreadId v) override {
+    if (u == v) return false;
+    const Slot& a = thread_slots_[u];
+    const Slot& b = thread_slots_[v];
+    return english_.precedes(a.eng, b.eng) && hebrew_.precedes(a.heb, b.heb);
+  }
+
+  std::size_t memory_bytes() const override {
+    return sizeof(*this) + english_.memory_bytes() + hebrew_.memory_bytes() +
+           node_slots_.capacity() * sizeof(Slot) +
+           thread_slots_.capacity() * sizeof(Slot);
+  }
+
+  const om::OrderList::Stats& english_stats() const {
+    return english_.stats();
+  }
+  const om::OrderList::Stats& hebrew_stats() const { return hebrew_.stats(); }
+
+ protected:
+  struct Slot {
+    om::OrderList::Item* eng = nullptr;
+    om::OrderList::Item* heb = nullptr;
+  };
+
+  const tree::ParseTree& tree_;
+  om::OrderList english_;
+  om::OrderList hebrew_;
+  std::vector<Slot> node_slots_;    ///< per parse-tree node
+  std::vector<Slot> thread_slots_;  ///< per thread, set at visit_leaf
+};
+
+}  // namespace spr::order

@@ -1,0 +1,37 @@
+#pragma once
+// SP-order, compact variant (footnote 2 of the paper): the parse-tree
+// slots of fully executed subtrees can be released because only *threads*
+// are ever queried, so live OM items need only cover leaves plus the
+// current spine.
+//
+// ROADMAP open item: this stub inherits the plain SP-order behavior and
+// releases only the bookkeeping slot array eagerly; reclaiming OM items
+// in-place requires deletion support in OrderList (planned alongside the
+// concurrent backend swap). Correctness and the Theta(1)/Theta(1) bounds
+// are identical to SpOrder.
+
+#include <cstddef>
+
+#include "sporder/sp_order.hpp"
+
+namespace spr::order {
+
+class SpOrderCompact final : public SpOrder {
+ public:
+  using SpOrder::SpOrder;
+
+  void leave_internal(const tree::Node& n) override {
+    // The subtree of n is complete; its per-node slot is dead (queries go
+    // through thread_slots_). Null it so use-after-complete bugs surface.
+    node_slots_[static_cast<std::size_t>(n.id)] = Slot{};
+  }
+
+  std::size_t memory_bytes() const override {
+    // Report only the live footprint the footnote-2 scheme would keep:
+    // both OM lists plus one slot per thread.
+    return sizeof(*this) + english_.memory_bytes() + hebrew_.memory_bytes() +
+           thread_slots_.capacity() * sizeof(Slot);
+  }
+};
+
+}  // namespace spr::order

@@ -1,0 +1,61 @@
+#pragma once
+// Deterministic PRNG for benches and property tests. xoshiro256** with a
+// splitmix64 seeder, so a single 64-bit seed reproduces every workload.
+
+#include <cstdint>
+
+namespace spr::util {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    // splitmix64 stream seeds the four lanes; never leaves the all-zero
+    // state, which xoshiro cannot escape.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n); n == 0 returns 0. Lemire-style rejection keeps the
+  /// distribution exact, which property tests rely on for reproducibility.
+  std::uint64_t next_below(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace spr::util

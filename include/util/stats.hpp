@@ -1,0 +1,88 @@
+#pragma once
+// Small statistics helpers for the scaling benches: sample accumulation
+// with order statistics, and an ordinary least-squares linear fit used to
+// check the O(n) construction claims (Theorem 5).
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace spr::util {
+
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+
+  std::size_t count() const { return values_.size(); }
+
+  double median() const {
+    if (values_.empty()) return 0;
+    std::vector<double> v = values_;
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                     v.end());
+    if (v.size() % 2 == 1) return v[mid];
+    const double hi = v[mid];
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                     v.begin() + static_cast<std::ptrdiff_t>(mid));
+    return (v[mid - 1] + hi) / 2.0;
+  }
+
+  double mean() const {
+    if (values_.empty()) return 0;
+    double s = 0;
+    for (const double v : values_) s += v;
+    return s / static_cast<double>(values_.size());
+  }
+
+  double min() const {
+    if (values_.empty()) return 0;
+    return *std::min_element(values_.begin(), values_.end());
+  }
+
+  double max() const {
+    if (values_.empty()) return 0;
+    return *std::max_element(values_.begin(), values_.end());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+};
+
+/// Least-squares fit of y = intercept + slope * x. Degenerate inputs
+/// (fewer than two points, zero variance) return a zero fit.
+inline LinearFit fit_linear(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  LinearFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace spr::util

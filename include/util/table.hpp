@@ -1,0 +1,83 @@
+#pragma once
+// Fixed-width text tables and the numeric formatters shared by every
+// bench harness (fmt_double, fmt_ns).
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace spr::util {
+
+inline std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Formats a nanosecond quantity with a human unit (ns/us/ms/s).
+inline std::string fmt_ns(double ns) {
+  const char* unit = "ns";
+  double v = ns;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "s";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "ms";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "us";
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v >= 100 ? 0 : (v >= 10 ? 1 : 2)) << v
+     << ' ' << unit;
+  return os.str();
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    print_row(os, headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule.append(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "-+-";
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  }
+
+  inline static const std::string kEmpty;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spr::util

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Local tier-1 verification: configure, build, and run the test suite.
+# Usage: scripts/check.sh [--bench]   (--bench also builds bench/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=OFF
+if [[ "${1:-}" == "--bench" ]]; then
+  BENCH=ON
+fi
+
+cmake -B build -S . -DBUILD_BENCH=${BENCH}
+cmake --build build -j "$(nproc)"
+cd build && ctest --output-on-failure -j "$(nproc)"

@@ -1,0 +1,204 @@
+// Tests for the SP-hybrid execution harness (serial reference
+// implementation), the concurrent order-maintenance stub, parse-tree
+// metrics, and the util layer (rng/stats/table formatting).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fjprog/generators.hpp"
+#include "fjprog/lower.hpp"
+#include "om/concurrent_om.hpp"
+#include "sphybrid/executor.hpp"
+#include "sptree/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using spr::hybrid::ExecOptions;
+using spr::hybrid::Mode;
+
+TEST(Hybrid, ModesRunAndCountersHold) {
+  const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_fib(12, 4));
+  for (const Mode mode : {Mode::kPlain, Mode::kNaive, Mode::kHybrid}) {
+    ExecOptions o;
+    o.mode = mode;
+    o.workers = 2;
+    o.queries_per_leaf = 2;
+    const auto r = spr::hybrid::run_parallel(t, o);
+    EXPECT_GT(r.elapsed_s, 0.0);
+    EXPECT_EQ(r.traces, 4 * r.splits + 1);  // |C| = 4s + 1 (Section 5)
+    if (mode == Mode::kNaive) {
+      // Naive locks every OM insertion: 4 item inserts per internal node.
+      EXPECT_EQ(r.om_inserts,
+                4ull * (t.node_count() - t.leaf_count()));
+    } else {
+      // Hybrid pays locked insertions only on steals; a serial run never
+      // steals.
+      EXPECT_EQ(r.om_inserts, 0u);
+      EXPECT_EQ(r.steals, 0u);
+    }
+    if (mode != Mode::kPlain) {
+      EXPECT_GT(r.queries, 0u);
+    }
+  }
+}
+
+TEST(Hybrid, DetectsInjectedRaces) {
+  ExecOptions o;
+  o.mode = Mode::kHybrid;
+  o.detect_races = true;
+  const auto clean = spr::fj::lower_to_parse_tree(
+      spr::fj::make_dnc_fill(1u << 10, 8, false));
+  EXPECT_FALSE(spr::hybrid::run_parallel(clean, o).has_race());
+  const auto racy = spr::fj::lower_to_parse_tree(
+      spr::fj::make_dnc_fill(1u << 10, 8, true));
+  EXPECT_TRUE(spr::hybrid::run_parallel(racy, o).has_race());
+}
+
+TEST(ConcurrentOm, SerialOrderIsCorrect) {
+  spr::om::ConcurrentOrderList list;
+  auto* a = list.insert_after(list.base());
+  auto* b = list.insert_after(a);
+  auto* c = list.insert_after(a);  // between a and b
+  EXPECT_TRUE(list.precedes(list.base(), a));
+  EXPECT_TRUE(list.precedes(a, c));
+  EXPECT_TRUE(list.precedes(c, b));
+  EXPECT_FALSE(list.precedes(b, a));
+}
+
+TEST(ConcurrentOm, RelabelStormKeepsOrder) {
+  spr::om::ConcurrentOrderList list;
+  auto* pivot = list.insert_after(list.base());
+  std::vector<spr::om::ConcurrentOrderList::Item*> items;
+  for (int i = 0; i < 5000; ++i) items.push_back(list.insert_after(pivot));
+  // Order: base, pivot, items[4999], ..., items[0].
+  spr::util::Xoshiro256 rng(5);
+  for (int s = 0; s < 2000; ++s) {
+    const auto i = rng.next_below(items.size());
+    const auto j = rng.next_below(items.size());
+    ASSERT_TRUE(list.precedes(pivot, items[i]));
+    if (i != j) {
+      ASSERT_EQ(list.precedes(items[i], items[j]), i > j);
+    }
+  }
+}
+
+TEST(ConcurrentOm, ConcurrentInsertsAndQueriesSmoke) {
+  spr::om::ConcurrentOrderList list;
+  auto* pivot = list.insert_after(list.base());
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire))
+      (void)list.precedes(list.base(), pivot);
+  });
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) (void)list.insert_after(pivot);
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(list.size(), 20002u);
+  EXPECT_TRUE(list.precedes(list.base(), pivot));
+}
+
+TEST(Metrics, BalancedTree) {
+  const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_balanced(4));
+  const auto m = spr::tree::compute_metrics(t);
+  EXPECT_EQ(m.threads, 16u);
+  EXPECT_EQ(m.p_nodes, 15u);
+  EXPECT_EQ(m.max_p_depth, 4u);
+  EXPECT_EQ(m.work, 32u);  // 16 leaves x (work 1 + 1)
+  EXPECT_EQ(m.span, 2u);   // all-parallel: one leaf on the critical path
+}
+
+TEST(Metrics, SeriesChainAddsSpans) {
+  const auto t =
+      spr::fj::lower_to_parse_tree(spr::fj::make_loop_sync(8, 1, 1));
+  const auto m = spr::tree::compute_metrics(t);
+  EXPECT_EQ(m.threads, 8u);
+  EXPECT_EQ(m.work, m.span);  // everything serial
+}
+
+TEST(Metrics, NodeAccountingConsistent) {
+  const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_fib(9));
+  const auto m = spr::tree::compute_metrics(t);
+  EXPECT_EQ(m.threads + m.p_nodes + m.s_nodes, t.node_count());
+  EXPECT_EQ(m.threads, t.leaf_count());
+  EXPECT_GE(m.work, m.span);
+}
+
+TEST(Util, XoshiroIsDeterministicAndBounded) {
+  spr::util::Xoshiro256 a(7), b(7), c(8);
+  bool all_same = true;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    ASSERT_EQ(x, b.next_u64());
+    if (x != c.next_u64()) all_same = false;
+  }
+  EXPECT_FALSE(all_same);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(a.next_below(17), 17u);
+  EXPECT_EQ(a.next_below(0), 0u);
+  EXPECT_EQ(a.next_below(1), 0u);
+}
+
+TEST(Util, LinearFitRecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i + 2.0);
+  }
+  const auto fit = spr::util::fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Util, SamplesOrderStatistics) {
+  spr::util::Samples s;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  spr::util::Samples even;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) even.add(v);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Util, Formatting) {
+  EXPECT_EQ(spr::util::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(spr::util::fmt_ns(500), "500 ns");
+  EXPECT_EQ(spr::util::fmt_ns(1500), "1.50 us");
+  EXPECT_EQ(spr::util::fmt_ns(2.5e6), "2.50 ms");
+  EXPECT_EQ(spr::util::fmt_ns(3.2e9), "3.20 s");
+}
+
+TEST(Util, TablePrintsAlignedColumns) {
+  spr::util::Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(Hybrid, ChecksumStableAcrossModes) {
+  const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_balanced(8, 8));
+  ExecOptions o;
+  o.queries_per_leaf = 0;
+  o.mode = Mode::kPlain;
+  const auto plain = spr::hybrid::run_parallel(t, o);
+  o.mode = Mode::kHybrid;
+  const auto hybrid = spr::hybrid::run_parallel(t, o);
+  EXPECT_EQ(plain.checksum, hybrid.checksum);
+}
+
+}  // namespace

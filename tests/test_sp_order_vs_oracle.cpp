@@ -1,0 +1,119 @@
+// Property test: SP-order (and its compact variant) must agree with a
+// brute-force LCA oracle on every thread pair of every corpus program —
+// random fork-join programs included, with seeded RNG so failures
+// reproduce. Also pins the English-order walk invariant the whole
+// library relies on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sp_test_util.hpp"
+#include "sporder/sp_order.hpp"
+#include "sporder/sp_order_compact.hpp"
+
+namespace {
+
+using spr::testutil::corpus;
+using spr::testutil::expect_matches_oracle_post_walk;
+
+TEST(SpOrder, MatchesOracleOnCorpus) {
+  for (const auto& p : corpus()) {
+    spr::order::SpOrder algo(p.tree);
+    expect_matches_oracle_post_walk(p.tree, algo, p.name);
+  }
+}
+
+TEST(SpOrderCompact, MatchesOracleOnCorpus) {
+  for (const auto& p : corpus()) {
+    spr::order::SpOrderCompact algo(p.tree);
+    expect_matches_oracle_post_walk(p.tree, algo, p.name);
+  }
+}
+
+TEST(SpOrder, OnTheFlyQueriesDuringWalk) {
+  // Query every completed thread against the current one *during* the
+  // walk — the race-detector access pattern — not just post-hoc.
+  for (const auto& p : corpus()) {
+    spr::order::SpOrder algo(p.tree);
+    const spr::testutil::Oracle oracle(p.tree);
+
+    class V final : public spr::tree::WalkVisitor {
+     public:
+      V(spr::order::SpOrder& a, const spr::testutil::Oracle& o)
+          : algo_(a), oracle_(o) {}
+      void enter_internal(const spr::tree::Node& n) override {
+        algo_.enter_internal(n);
+      }
+      void between_children(const spr::tree::Node& n) override {
+        algo_.between_children(n);
+      }
+      void leave_internal(const spr::tree::Node& n) override {
+        algo_.leave_internal(n);
+      }
+      void leave_leaf(const spr::tree::Node& n) override {
+        algo_.leave_leaf(n);
+      }
+      void visit_leaf(const spr::tree::Node& n) override {
+        algo_.visit_leaf(n);
+        for (spr::tree::ThreadId u = 0; u < n.thread; ++u) {
+          ASSERT_EQ(algo_.precedes(u, n.thread),
+                    oracle_.precedes(u, n.thread));
+        }
+      }
+
+     private:
+      spr::order::SpOrder& algo_;
+      const spr::testutil::Oracle& oracle_;
+    } v(algo, oracle);
+    serial_walk(p.tree, v);
+  }
+}
+
+TEST(Walk, VisitsLeavesInEnglishOrder) {
+  for (const auto& p : corpus()) {
+    class V final : public spr::tree::WalkVisitor {
+     public:
+      void visit_leaf(const spr::tree::Node& n) override {
+        threads.push_back(n.thread);
+      }
+      std::vector<spr::tree::ThreadId> threads;
+    } v;
+    serial_walk(p.tree, v);
+    ASSERT_EQ(v.threads.size(), p.tree.leaf_count()) << p.name;
+    for (std::size_t i = 0; i < v.threads.size(); ++i)
+      ASSERT_EQ(v.threads[i], static_cast<spr::tree::ThreadId>(i)) << p.name;
+  }
+}
+
+TEST(Generators, Deterministic) {
+  const auto a = spr::fj::lower_to_parse_tree(
+      spr::fj::make_random_program(1234, 200));
+  const auto b = spr::fj::lower_to_parse_tree(
+      spr::fj::make_random_program(1234, 200));
+  ASSERT_EQ(a.leaf_count(), b.leaf_count());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  const spr::testutil::Oracle oa(a), ob(b);
+  for (spr::tree::ThreadId u = 0; u < a.leaf_count(); ++u)
+    for (spr::tree::ThreadId v = 0; v < a.leaf_count(); ++v)
+      ASSERT_EQ(oa.precedes(u, v), ob.precedes(u, v));
+}
+
+TEST(SpOrder, ConstructionCostIsLinearish) {
+  // Theorem 5 smoke check at unit-test scale: total OM items moved per
+  // insert stays bounded as the program grows.
+  for (const int depth : {8, 10, 12}) {
+    const auto t =
+        spr::fj::lower_to_parse_tree(spr::fj::make_balanced(depth));
+    spr::order::SpOrder algo(t);
+    spr::tree::MaintenanceDriver d(algo);
+    serial_walk(t, d);
+    const auto& st = algo.english_stats();
+    ASSERT_GT(st.inserts, 0u);
+    const double moved = static_cast<double>(st.items_moved) /
+                         static_cast<double>(st.inserts);
+    EXPECT_LT(moved, 8.0) << "depth " << depth;
+  }
+}
+
+}  // namespace
