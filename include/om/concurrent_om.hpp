@@ -3,18 +3,21 @@
 // (Section 4). Queries are lock-free (seqlock over immutable-between-
 // relabels atomic labels); insertions serialize on a mutex, which matches
 // the paper's global tier where insertions happen only on steals and are
-// already serialized by the scheduler lock.
+// already serialized by the scheduler lock. The work-stealing executor
+// (sphybrid/worker.hpp) calls insert_after from concurrent steal paths
+// via SegmentList::split_tail while other workers query concurrently, so
+// every field read outside the mutex is atomic.
 //
 // ROADMAP open item: replace the mutex insert path with the paper's
 // O(1)-amortized two-level concurrent structure (and the DePa/Utterback
-// style lock-free variants) once SP-hybrid gets a real parallel executor.
-// This implementation is a correct stub: linearizable, lock-free reads,
-// O(lg n) amortized insert due to full relabels.
+// style lock-free variants). This implementation is correct but simple:
+// linearizable, lock-free reads, O(lg n) amortized insert (full relabels).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 
 namespace spr::om {
 
@@ -30,7 +33,7 @@ class ConcurrentOrderList {
     base_ = new Item;
     base_->label.store(0, std::memory_order_relaxed);
     head_ = tail_ = base_;
-    size_ = 1;
+    size_.store(1, std::memory_order_relaxed);
   }
   ConcurrentOrderList(const ConcurrentOrderList&) = delete;
   ConcurrentOrderList& operator=(const ConcurrentOrderList&) = delete;
@@ -64,33 +67,38 @@ class ConcurrentOrderList {
       item->label.store(lo + (hi - lo) / 2, std::memory_order_release);
       link_after(x, item);
     }
-    ++size_;
-    ++inserts_;
+    size_.fetch_add(1, std::memory_order_relaxed);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
     return item;
   }
 
-  /// Lock-free order query; retries while a relabel is in flight.
+  /// Lock-free order query; retries while a relabel is in flight. Yields
+  /// after a burst of failed attempts so a preempted relabeler can finish
+  /// its write section on oversubscribed hosts.
   bool precedes(const Item* a, const Item* b) const {
-    for (;;) {
+    for (int spins = 0;; ++spins) {
+      if (spins >= 64) std::this_thread::yield();
       const std::uint64_t v0 = version_.load(std::memory_order_acquire);
       if (v0 & 1) continue;  // relabel in progress
       const std::uint64_t la = a->label.load(std::memory_order_acquire);
       const std::uint64_t lb = b->label.load(std::memory_order_acquire);
-      // Seqlock validation: the fence keeps the label loads from sinking
-      // below the version re-check (acquire on the re-check alone does
-      // not order *earlier* loads), so a torn (la, lb) pair from two
-      // relabel epochs can never validate.
-      std::atomic_thread_fence(std::memory_order_acquire);
+      // Seqlock validation: the ACQUIRE label loads keep the version
+      // re-check below from being reordered before them (an acquire load
+      // is a one-way barrier downward), so a torn (la, lb) pair from two
+      // relabel epochs can never validate. No standalone fence — TSan
+      // does not model atomic_thread_fence.
       if (version_.load(std::memory_order_relaxed) == v0) return la < lb;
-      ++retries_;
+      retries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  std::size_t size() const { return size_; }
-  std::uint64_t query_retries() const { return retries_; }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::uint64_t query_retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
 
   std::size_t memory_bytes() const {
-    return sizeof(*this) + size_ * sizeof(Item);
+    return sizeof(*this) + size() * sizeof(Item);
   }
 
  private:
@@ -107,7 +115,8 @@ class ConcurrentOrderList {
   }
 
   void relabel_all_locked() {
-    const std::uint64_t stride = kMax / (size_ + 2);
+    const std::uint64_t stride =
+        kMax / (size_.load(std::memory_order_relaxed) + 2);
     std::uint64_t label = 0;
     for (Item* it = head_; it != nullptr; it = it->next) {
       it->label.store(label, std::memory_order_release);
@@ -121,8 +130,8 @@ class ConcurrentOrderList {
   Item* base_ = nullptr;
   Item* head_ = nullptr;
   Item* tail_ = nullptr;
-  std::size_t size_ = 0;
-  std::uint64_t inserts_ = 0;
+  std::atomic<std::size_t> size_{0};    ///< read concurrently with inserts
+  std::atomic<std::uint64_t> inserts_{0};
 };
 
 }  // namespace spr::om

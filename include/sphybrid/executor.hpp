@@ -1,18 +1,22 @@
 #pragma once
-// SP-hybrid execution harness (Sections 3-6). The real SP-hybrid runs a
-// work-stealing scheduler whose traces keep SP-bags locally and touch the
-// shared order-maintenance structure only on steals.
+// SP-hybrid execution harness (Sections 3-6). run_parallel() dispatches on
+// ExecOptions::mode:
+//   kPlain / kNaive / kHybrid run on the real work-stealing engine
+//     (sphybrid/worker.hpp): per-worker Chase-Lev deques, trace-local
+//     SP-bags, and global order-maintenance insertions only on steals.
+//   kSerialReference keeps the old serial driver: it executes the program
+//     in English order on the calling thread with a full serial SP-order.
+//     It is the oracle the parallel tests compare against — per-leaf query
+//     streams and the order-independent checksum are shared with the
+//     engine, so a correct parallel run reproduces its checksum exactly at
+//     any worker count.
 //
-// ROADMAP open item: this is the *serial reference implementation* — it
-// executes the program in English order on the calling thread regardless
-// of `workers`, maintains a full SP-order (global structure), and models
-// the naive-vs-hybrid contrast through its counters:
-//   kNaive  locks every OM insertion (the Theta(T1) locked operations of
-//           Section 3) and accumulates the measured lock wait;
-//   kHybrid performs no locked insertions because a serial run never
-//           steals (steals = splits = 0, traces = 4*splits + 1 = 1).
-// All Theorem 10 accounting identities hold degenerately, so the benches
-// run and verify; the parallel scheduler replaces this file wholesale.
+// Counters are measured (steals, splits, om_inserts, lock_wait_ns); the
+// `traces` field reports Section 5's |C| = 4*splits + 1 accounting, which
+// the tests assert as an expected-value identity against the measured
+// split count. `workers` is validated: 0 throws std::invalid_argument,
+// larger requests clamp to hardware_concurrency (floor 4, so concurrent
+// paths still run on tiny CI hosts).
 
 #include <cstdint>
 #include <memory>
@@ -20,6 +24,7 @@
 
 #include "race/detector.hpp"
 #include "spbags/dsu.hpp"
+#include "sphybrid/worker.hpp"
 #include "sporder/sp_order.hpp"
 #include "sptree/sp_maintenance.hpp"
 #include "sptree/walk.hpp"
@@ -28,63 +33,21 @@
 
 namespace spr::hybrid {
 
-enum class Mode : std::uint8_t {
-  kPlain,   ///< no SP maintenance: the T_P baseline
-  kNaive,   ///< one shared OM structure, every insertion locked
-  kHybrid,  ///< SP-hybrid: locked insertions only on steals
-};
-
-struct ExecOptions {
-  unsigned workers = 1;
-  Mode mode = Mode::kPlain;
-  std::uint32_t queries_per_leaf = 0;
-  std::uint64_t seed = 1;
-  bool detect_races = false;
-  bags::AtomicDisjointSets::Mode dsu_mode =
-      bags::AtomicDisjointSets::Mode::kRankOnly;
-};
-
-struct ExecResult {
-  double elapsed_s = 0;
-  std::uint64_t steals = 0;
-  std::uint64_t splits = 0;
-  std::uint64_t traces = 1;  ///< |C| = 4 * splits + 1 (Lemma, Section 5)
-  std::uint64_t queries = 0;
-  std::uint64_t om_inserts = 0;     ///< locked global-tier insertions
-  std::uint64_t lock_wait_ns = 0;   ///< time spent waiting on the lock
-  std::uint64_t query_retries = 0;  ///< failed lock-free query attempts
-  std::uint64_t race_count = 0;
-  std::uint64_t checksum = 0;
-  bool has_race() const { return race_count > 0; }
-};
-
 namespace detail {
 
-/// Serial driver: executes leaf work, maintains SP-order, issues the
-/// configured per-leaf queries, and (optionally) runs the shadow-memory
-/// race-detection protocol.
+/// Serial oracle driver: executes leaf work in English order, maintains a
+/// full serial SP-order, issues the same per-leaf query streams as the
+/// parallel engine, and (optionally) runs the shadow-memory protocol.
 class SerialDriver final : public tree::WalkVisitor {
  public:
-  SerialDriver(const tree::ParseTree& t, const ExecOptions& o,
-               ExecResult& r)
-      : tree_(t), opts_(o), result_(r), rng_(o.seed) {
+  SerialDriver(const tree::ParseTree& t, const ExecOptions& o, ExecResult& r)
+      : tree_(t), opts_(o), result_(r) {
     if (o.mode != Mode::kPlain || o.detect_races)
       algo_ = std::make_unique<order::SpOrder>(t);
   }
 
   void enter_internal(const tree::Node& n) override {
-    if (algo_ == nullptr) return;
-    if (opts_.mode == Mode::kNaive) {
-      // Section 3's naive scheme: every OM insertion takes the global
-      // lock. One internal node splits both orderings.
-      const util::Stopwatch sw;
-      std::lock_guard<std::mutex> lock(om_mutex_);
-      result_.lock_wait_ns += static_cast<std::uint64_t>(sw.elapsed_ns());
-      result_.om_inserts += 4;
-      algo_->enter_internal(n);
-    } else {
-      algo_->enter_internal(n);
-    }
+    if (algo_ != nullptr) algo_->enter_internal(n);
   }
   void between_children(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->between_children(n);
@@ -98,16 +61,23 @@ class SerialDriver final : public tree::WalkVisitor {
 
   void visit_leaf(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->visit_leaf(n);
-    result_.checksum ^= util::spin_work(n.work);
+    spin_xor_ ^= util::spin_work(n.work);
     const tree::ThreadId v = n.thread;
-    for (std::uint32_t q = 0; q < opts_.queries_per_leaf && v > 0; ++q) {
-      const auto u = static_cast<tree::ThreadId>(rng_.next_below(v));
-      if (algo_ != nullptr)
-        result_.checksum += algo_->precedes(u, v) ? 1 : 0;
-      ++result_.queries;
+    if (opts_.queries_per_leaf > 0) {
+      // Same deterministic stream as the engine's do_leaf, so checksums
+      // agree bit-for-bit across modes and worker counts.
+      util::Xoshiro256 rng = leaf_query_rng(opts_.seed, v);
+      for (std::uint32_t q = 0; q < opts_.queries_per_leaf && v > 0; ++q) {
+        const auto u = static_cast<tree::ThreadId>(rng.next_below(v));
+        if (algo_ != nullptr)
+          digest_sum_ += query_digest(u, v, algo_->precedes(u, v));
+        ++result_.queries;
+      }
     }
     if (opts_.detect_races && algo_ != nullptr) detect(v);
   }
+
+  void finish() { result_.checksum = spin_xor_ + digest_sum_; }
 
  private:
   void detect(tree::ThreadId v) {
@@ -128,30 +98,34 @@ class SerialDriver final : public tree::WalkVisitor {
   const tree::ParseTree& tree_;
   const ExecOptions& opts_;
   ExecResult& result_;
-  util::Xoshiro256 rng_;
+  std::uint64_t spin_xor_ = 0;
+  std::uint64_t digest_sum_ = 0;
   std::unique_ptr<order::SpOrder> algo_;
-  std::mutex om_mutex_;
   race::ShadowMemory shadow_;
 };
 
 }  // namespace detail
 
 /// Executes `t` under the requested mode and returns timing + the
-/// Theorem 10 accounting counters. Serial reference implementation: see
-/// the file header; `workers` and `dsu_mode` only affect bookkeeping
-/// until the parallel scheduler lands.
+/// Theorem 10 accounting counters (all measured; see worker.hpp).
 inline ExecResult run_parallel(const tree::ParseTree& t,
                                const ExecOptions& o) {
-  ExecResult r;
-  detail::SerialDriver driver(t, o, r);
-  const util::Stopwatch sw;
-  serial_walk(t, driver);
-  r.elapsed_s = sw.elapsed_s();
-  r.steals = 0;
-  r.splits = 0;
-  r.traces = 4 * r.splits + 1;
-  util::do_not_optimize(r.checksum);
-  return r;
+  const unsigned workers = resolve_workers(o.workers);  // validates, throws
+  if (o.mode == Mode::kSerialReference) {
+    ExecResult r;
+    detail::SerialDriver driver(t, o, r);
+    const util::Stopwatch sw;
+    serial_walk(t, driver);
+    r.elapsed_s = sw.elapsed_s();
+    driver.finish();
+    r.workers_used = 1;  // the oracle always runs on the calling thread
+    r.traces = 1;
+    util::do_not_optimize(r.checksum);
+    return r;
+  }
+  (void)workers;  // the engine re-resolves from o.workers
+  WorkStealingEngine engine(t, o);
+  return engine.run();
 }
 
 }  // namespace spr::hybrid

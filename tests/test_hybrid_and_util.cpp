@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -25,7 +27,8 @@ using spr::hybrid::Mode;
 
 TEST(Hybrid, ModesRunAndCountersHold) {
   const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_fib(12, 4));
-  for (const Mode mode : {Mode::kPlain, Mode::kNaive, Mode::kHybrid}) {
+  for (const Mode mode : {Mode::kPlain, Mode::kNaive, Mode::kHybrid,
+                          Mode::kSerialReference}) {
     ExecOptions o;
     o.mode = mode;
     o.workers = 2;
@@ -37,9 +40,12 @@ TEST(Hybrid, ModesRunAndCountersHold) {
       // Naive locks every OM insertion: 4 item inserts per internal node.
       EXPECT_EQ(r.om_inserts,
                 4ull * (t.node_count() - t.leaf_count()));
+    } else if (mode == Mode::kHybrid) {
+      // Hybrid pays locked insertions only on steals: the two-tier orders
+      // take exactly 3 global cuts per trace split (measured, not modeled).
+      EXPECT_EQ(r.om_inserts, 3 * r.splits);
+      EXPECT_GE(r.steals, r.splits);
     } else {
-      // Hybrid pays locked insertions only on steals; a serial run never
-      // steals.
       EXPECT_EQ(r.om_inserts, 0u);
       EXPECT_EQ(r.steals, 0u);
     }
@@ -47,6 +53,31 @@ TEST(Hybrid, ModesRunAndCountersHold) {
       EXPECT_GT(r.queries, 0u);
     }
   }
+}
+
+TEST(Hybrid, SingleWorkerNeverStealsOrTouchesGlobalTier) {
+  const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_fib(12, 4));
+  ExecOptions o;
+  o.mode = Mode::kHybrid;
+  o.workers = 1;
+  o.queries_per_leaf = 2;
+  const auto r = spr::hybrid::run_parallel(t, o);
+  EXPECT_EQ(r.workers_used, 1u);
+  EXPECT_EQ(r.steals, 0u);
+  EXPECT_EQ(r.splits, 0u);
+  EXPECT_EQ(r.om_inserts, 0u);
+  EXPECT_EQ(r.traces, 1u);
+}
+
+TEST(Hybrid, WorkerCountIsValidated) {
+  const auto t = spr::fj::lower_to_parse_tree(spr::fj::make_fib(6));
+  ExecOptions o;
+  o.workers = 0;
+  EXPECT_THROW(spr::hybrid::run_parallel(t, o), std::invalid_argument);
+  o.workers = 1u << 20;  // absurd request clamps to the hardware
+  const auto r = spr::hybrid::run_parallel(t, o);
+  EXPECT_GE(r.workers_used, 1u);
+  EXPECT_LE(r.workers_used, std::max(4u, std::thread::hardware_concurrency()));
 }
 
 TEST(Hybrid, DetectsInjectedRaces) {
