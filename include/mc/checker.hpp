@@ -1,0 +1,242 @@
+#pragma once
+// spr::mc exploration driver. An EPISODE is one closed execution of a
+// scenario: construct fresh state, spawn logical threads, join, verify.
+// The driver runs the episode under many schedules:
+//
+//  1. DFS with ITERATIVE CONTEXT BOUNDING: for preemption budget
+//     b = 0, 1, ..., preemption_bound, enumerate the decision tree
+//     depth-first (scheduling decisions + weak-load value decisions),
+//     backtracking on the recorded (degree, chosen) path. Small budgets
+//     are exhaustive; most concurrency bugs need very few preemptions
+//     (CHESS's empirical law), so this front-loads the payoff.
+//  2. Seeded RANDOM WALKS beyond the DFS cap: unbounded preemptions,
+//     biased toward the default schedule, until `random_schedules`
+//     episodes ran or `target_distinct` distinct schedules were seen.
+//
+// Every episode's decision path is hashed (FNV-1a) into a set, so
+// Stats::distinct_schedules counts genuinely distinct interleavings,
+// not episode retries. The first violation stops exploration and
+// captures the message, the executed step trace, and the decision path
+// — replay(schedule) re-executes that exact path (same episode code =>
+// same degrees => same execution) with the trace re-captured.
+//
+// Usage (tests/mc_test.cpp):
+//   mc::Options o;
+//   mc::Stats st = mc::explore(o, [](mc::Run& r) {
+//     spr::hybrid::ChaseLevDeque<int> d;      // fresh state
+//     d.push_bottom(1);
+//     int got_o = 0, got_t = 0; bool ok_o = false, ok_t = false;
+//     r.spawn([&] { ok_o = d.pop_bottom(got_o); });
+//     r.spawn([&] { int v; ok_t = steal_one(d, v); got_t = v; });
+//     r.join_all();
+//     SPR_MC_ASSERT(ok_o + ok_t == 1, "exactly one side takes the item");
+//   });
+//   ASSERT_FALSE(st.failed) << st.failure_message << st.failure_trace;
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/sched.hpp"
+
+namespace spr::mc {
+
+struct Options {
+  unsigned preemption_bound = 2;        ///< ICB final budget
+  std::uint64_t max_dfs_schedules = 20000;  ///< DFS episode cap (all bounds)
+  std::uint64_t random_schedules = 0;   ///< random-walk episodes after DFS
+  std::uint64_t target_distinct = 0;    ///< stop random phase early at this
+  std::uint64_t seed = 1;               ///< random-walk seed
+  std::uint64_t max_steps = 1u << 20;   ///< per-episode livelock guard
+  unsigned stale_read_budget = 4;       ///< weak-load value branches/episode
+};
+
+struct Stats {
+  std::uint64_t episodes = 0;
+  std::uint64_t distinct_schedules = 0;
+  std::uint64_t bounds_completed = 0;  ///< ICB budgets fully exhausted
+  bool dfs_exhausted = false;          ///< DFS finished under the cap
+  bool failed = false;
+  std::string failure_message;
+  std::string failure_trace;
+  std::vector<Decision> failure_schedule;
+  unsigned failure_bound = 0;  ///< preemption budget of the failing episode
+};
+
+using Episode = std::function<void(Run&)>;
+
+namespace detail {
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_path(const std::vector<Decision>& p) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Decision& d : p) h = fnv1a(fnv1a(h, d.degree), d.chosen);
+  return h;
+}
+
+/// DFS over the decision tree: replay the committed prefix, extend with
+/// default choices, then advance() flips the deepest not-yet-exhausted
+/// decision and truncates — classic stateless backtracking.
+class DfsPolicy final : public DecisionPolicy {
+ public:
+  unsigned choose(DKind, unsigned degree) override {
+    if (cursor_ < prefix_.size()) {
+      // Degrees are deterministic given the prefix; a mismatch would
+      // mean the episode is nondeterministic (rng/time in the test).
+      if (prefix_[cursor_].degree != degree)
+        throw std::logic_error(
+            "mc: nondeterministic episode (decision degree changed on "
+            "replay)");
+      return prefix_[cursor_++].chosen;
+    }
+    prefix_.push_back({degree, 0});
+    ++cursor_;
+    return 0;
+  }
+
+  /// Moves to the next unexplored path; false when the tree is done.
+  bool advance() {
+    while (!prefix_.empty()) {
+      Decision& d = prefix_.back();
+      if (d.chosen + 1 < d.degree) {
+        ++d.chosen;
+        cursor_ = 0;
+        return true;
+      }
+      prefix_.pop_back();
+    }
+    return false;
+  }
+
+  void rewind() { cursor_ = 0; }
+  const std::vector<Decision>& prefix() const { return prefix_; }
+
+ private:
+  std::vector<Decision> prefix_;
+  std::size_t cursor_ = 0;
+};
+
+/// Biased random walk (xorshift64*): mostly follows the default
+/// schedule so episodes terminate fast, but any interleaving is
+/// reachable.
+class RandomPolicy final : public DecisionPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : s_(seed | 1) {}
+
+  unsigned choose(DKind kind, unsigned degree) override {
+    const std::uint64_t r = next();
+    const unsigned keep = kind == DKind::kValue ? 70 : 60;  // % default
+    if (r % 100 < keep) return 0;
+    return 1 + static_cast<unsigned>((r >> 8) % (degree - 1));
+  }
+  void reseed(std::uint64_t seed) { s_ = seed | 1; }
+
+ private:
+  std::uint64_t next() {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    return s_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::uint64_t s_;
+};
+
+/// Replays a recorded decision path verbatim (for failure reproduction).
+class FixedPolicy final : public DecisionPolicy {
+ public:
+  explicit FixedPolicy(std::vector<Decision> path) : fixed_(std::move(path)) {}
+  unsigned choose(DKind, unsigned degree) override {
+    if (cursor_ >= fixed_.size()) return 0;
+    const Decision& d = fixed_[cursor_++];
+    return d.chosen < degree ? d.chosen : 0;
+  }
+
+ private:
+  std::vector<Decision> fixed_;
+  std::size_t cursor_ = 0;
+};
+
+/// Runs one episode; returns true if it failed (stats filled in).
+inline bool run_episode(const Options& o, unsigned bound,
+                        DecisionPolicy& pol, const Episode& episode,
+                        Stats& st) {
+  RunLimits lim;
+  lim.preemption_budget = bound;
+  lim.max_steps = o.max_steps;
+  lim.stale_read_budget = o.stale_read_budget;
+  Run run(pol, lim);
+  try {
+    episode(run);
+  } catch (const Violation& v) {
+    st.failed = true;
+    st.failure_message = v.what();
+    st.failure_trace = run.format_trace();
+    st.failure_schedule = pol.path();
+    st.failure_bound = bound;
+    return true;
+  }
+  ++st.episodes;
+  return false;
+}
+
+}  // namespace detail
+
+/// Systematically explores `episode`; stops at the first violation.
+inline Stats explore(const Options& o, const Episode& episode) {
+  Stats st;
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t dfs_episodes = 0;
+  bool capped = false;
+  for (unsigned bound = 0; bound <= o.preemption_bound && !capped; ++bound) {
+    detail::DfsPolicy pol;
+    for (;;) {
+      pol.clear_path();
+      pol.rewind();
+      if (detail::run_episode(o, bound, pol, episode, st)) return st;
+      seen.insert(detail::hash_path(pol.path()));
+      if (++dfs_episodes >= o.max_dfs_schedules) {
+        capped = true;
+        break;
+      }
+      if (!pol.advance()) break;
+    }
+    if (!capped) ++st.bounds_completed;
+  }
+  st.dfs_exhausted = !capped;
+  detail::RandomPolicy rpol(o.seed);
+  for (std::uint64_t i = 0; i < o.random_schedules; ++i) {
+    if (o.target_distinct != 0 && seen.size() >= o.target_distinct) break;
+    rpol.clear_path();
+    rpol.reseed(o.seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    if (detail::run_episode(o, ~0u, rpol, episode, st)) return st;
+    seen.insert(detail::hash_path(rpol.path()));
+  }
+  st.distinct_schedules = seen.size();
+  return st;
+}
+
+/// Re-executes one recorded schedule (from Stats::failure_schedule) and
+/// returns its stats — failed again iff the violation reproduces, with
+/// the trace freshly captured. `bound` must be the budget the schedule
+/// was recorded under (Stats::failure_bound): the preemption budget
+/// shapes which scheduling points offer alternatives at all, so the
+/// decision sequence only lines up under the same budget.
+inline Stats replay(const Options& o, const Episode& episode,
+                    const std::vector<Decision>& schedule, unsigned bound) {
+  Stats st;
+  detail::FixedPolicy pol(schedule);
+  detail::run_episode(o, bound, pol, episode, st);
+  st.distinct_schedules = st.failed ? 0 : 1;
+  return st;
+}
+
+}  // namespace spr::mc

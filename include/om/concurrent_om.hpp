@@ -17,14 +17,28 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
-#include <thread>
+
+#include "util/atomics.hpp"
 
 namespace spr::om {
 
 class ConcurrentOrderList {
  public:
+  // The seqlock's data loads. precedes() relies on these being ACQUIRE:
+  // reading a label written inside a relabel epoch synchronizes with the
+  // relabeler, which forces the validating re-read of `version_` to
+  // observe at least the epoch-opening odd increment and retry. The MC
+  // suite demotes them to relaxed (-DSPR_MC_SEED_BUG_SEQLOCK_RELAXED,
+  // MC builds only) to prove the checker catches the torn label pair.
+#if defined(SPR_MODEL_CHECK) && defined(SPR_MC_SEED_BUG_SEQLOCK_RELAXED)
+  static constexpr std::memory_order kLabelRead =
+      std::memory_order_relaxed;  // SEEDED BUG — never set outside MC
+#else
+  static constexpr std::memory_order kLabelRead = std::memory_order_acquire;
+#endif
+
   struct Item {
-    std::atomic<std::uint64_t> label{0};
+    spr::atomic<std::uint64_t> label{0};
     Item* prev = nullptr;  ///< guarded by the insert mutex
     Item* next = nullptr;  ///< guarded by the insert mutex
   };
@@ -51,7 +65,7 @@ class ConcurrentOrderList {
   Item* base() const { return base_; }
 
   Item* insert_after(Item* x) {
-    std::lock_guard<std::mutex> lock(mu_);
+    spr::lock_guard<spr::mutex> lock(mu_);
     const std::uint64_t lo = x->label.load(std::memory_order_relaxed);
     const std::uint64_t hi =
         x->next != nullptr ? x->next->label.load(std::memory_order_relaxed)
@@ -77,11 +91,11 @@ class ConcurrentOrderList {
   /// its write section on oversubscribed hosts.
   bool precedes(const Item* a, const Item* b) const {
     for (int spins = 0;; ++spins) {
-      if (spins >= 64) std::this_thread::yield();
+      if (spins >= kSpinYieldThreshold) spr::thread_yield();
       const std::uint64_t v0 = version_.load(std::memory_order_acquire);
       if (v0 & 1) continue;  // relabel in progress
-      const std::uint64_t la = a->label.load(std::memory_order_acquire);
-      const std::uint64_t lb = b->label.load(std::memory_order_acquire);
+      const std::uint64_t la = a->label.load(kLabelRead);
+      const std::uint64_t lb = b->label.load(kLabelRead);
       // Seqlock validation: the ACQUIRE label loads keep the version
       // re-check below from being reordered before them (an acquire load
       // is a one-way barrier downward), so a torn (la, lb) pair from two
@@ -103,6 +117,13 @@ class ConcurrentOrderList {
 
  private:
   static constexpr std::uint64_t kMax = ~0ULL;
+  // Spin budget before yielding to a preempted relabeler; 1 under the
+  // model checker so every failed attempt is a mandatory switch point.
+#if defined(SPR_MODEL_CHECK)
+  static constexpr int kSpinYieldThreshold = 1;
+#else
+  static constexpr int kSpinYieldThreshold = 64;
+#endif
 
   void link_after(Item* x, Item* item) {
     item->prev = x;
@@ -124,14 +145,14 @@ class ConcurrentOrderList {
     }
   }
 
-  std::mutex mu_;
-  std::atomic<std::uint64_t> version_{0};
-  mutable std::atomic<std::uint64_t> retries_{0};
+  spr::mutex mu_;
+  spr::atomic<std::uint64_t> version_{0};
+  mutable spr::atomic<std::uint64_t> retries_{0};
   Item* base_ = nullptr;
   Item* head_ = nullptr;
   Item* tail_ = nullptr;
-  std::atomic<std::size_t> size_{0};    ///< read concurrently with inserts
-  std::atomic<std::uint64_t> inserts_{0};
+  spr::atomic<std::size_t> size_{0};    ///< read concurrently with inserts
+  spr::atomic<std::uint64_t> inserts_{0};
 };
 
 }  // namespace spr::om

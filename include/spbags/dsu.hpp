@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/atomics.hpp"
+
 namespace spr::bags {
 
 class DisjointSets {
@@ -139,17 +141,17 @@ class AtomicDisjointSets {
 
   std::size_t memory_bytes() const {
     return sizeof(*this) +
-           parent_.size() * sizeof(std::atomic<std::uint32_t>) +
+           parent_.size() * sizeof(spr::atomic<std::uint32_t>) +
            rank_.capacity() * sizeof(std::uint8_t);
   }
 
  private:
   Mode mode_;
-  std::vector<std::atomic<std::uint32_t>> parent_;
+  std::vector<spr::atomic<std::uint32_t>> parent_;
   std::vector<std::uint8_t> rank_;  ///< rank_[r] touched only while r is a
                                     ///< root owned by one completion chain
-  std::atomic<std::uint64_t> finds_{0};       ///< instrumentation only
-  std::atomic<std::uint64_t> find_steps_{0};  ///< instrumentation only
+  spr::atomic<std::uint64_t> finds_{0};       ///< instrumentation only
+  spr::atomic<std::uint64_t> find_steps_{0};  ///< instrumentation only
 };
 
 }  // namespace spr::bags

@@ -20,11 +20,26 @@
 #include <memory>
 #include <vector>
 
+#include "util/atomics.hpp"
+
 namespace spr::hybrid {
 
 template <typename T>
 class ChaseLevDeque {
  public:
+  // The handoff edge the whole deque hangs on: push_bottom's publishing
+  // store of `bottom`. The model-check suite deliberately demotes it to
+  // relaxed (-DSPR_MC_SEED_BUG_DEQUE_PUSH_RELAXED, MC builds only) to
+  // prove the checker catches the resulting stale-slot steal; see
+  // tests/mc_bug_test.cpp.
+#if defined(SPR_MODEL_CHECK) && defined(SPR_MC_SEED_BUG_DEQUE_PUSH_RELAXED)
+  static constexpr std::memory_order kBottomPublish =
+      std::memory_order_relaxed;  // SEEDED BUG — never set outside MC
+#else
+  static constexpr std::memory_order kBottomPublish =
+      std::memory_order_release;
+#endif
+
   explicit ChaseLevDeque(std::size_t initial_capacity = 64)
       : array_(new Array(round_up_pow2(initial_capacity))) {}
 
@@ -43,7 +58,7 @@ class ChaseLevDeque {
     // Release: publishes the slot write and everything the owner prepared
     // for this task (SP slots, join counters) to any thief that acquires
     // `bottom` or wins the steal CAS.
-    bottom_.store(b + 1, std::memory_order_release);
+    bottom_.store(b + 1, kBottomPublish);
   }
 
   /// Owner only. Pops the most recently pushed task; false when empty.
@@ -71,7 +86,14 @@ class ChaseLevDeque {
   /// Any thread. Attempts to steal the oldest task (the top entry).
   StealResult steal(T& out) {
     const std::int64_t t = top_.load(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    // seq_cst, not acquire: this load stands in for the SC fence of the
+    // PPoPP'13 formulation. An acquire load is outside the SC order, so
+    // after this thief's own top CAS it could still read a bottom value
+    // older than a pop's seq_cst store and re-steal an item the owner
+    // already popped uncontended (double take). The mc suite found that
+    // interleaving when this was acquire; seq_cst forces the load to
+    // observe at least the last seq_cst pop-side store of `bottom`.
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return StealResult::kEmpty;
     Array* a = array_.load(std::memory_order_acquire);
     const T value = a->get(t);
@@ -93,10 +115,10 @@ class ChaseLevDeque {
  private:
   struct Array {
     explicit Array(std::size_t cap)
-        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+        : capacity(cap), mask(cap - 1), slots(new spr::atomic<T>[cap]) {}
     const std::size_t capacity;
     const std::size_t mask;
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::unique_ptr<spr::atomic<T>[]> slots;
 
     void put(std::int64_t i, T v) {
       slots[static_cast<std::size_t>(i) & mask].store(
@@ -123,9 +145,9 @@ class ChaseLevDeque {
     return bigger;
   }
 
-  std::atomic<std::int64_t> top_{0};
-  std::atomic<std::int64_t> bottom_{0};
-  std::atomic<Array*> array_;
+  spr::atomic<std::int64_t> top_{0};
+  spr::atomic<std::int64_t> bottom_{0};
+  spr::atomic<Array*> array_;
   std::vector<std::unique_ptr<Array>> retired_;  ///< owner only
 };
 

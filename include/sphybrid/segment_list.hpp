@@ -29,10 +29,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "om/concurrent_om.hpp"
+#include "util/atomics.hpp"
 
 namespace spr::hybrid {
 
@@ -41,16 +41,16 @@ class SegmentList {
   struct Segment;
 
   struct Item {
-    std::atomic<std::uint64_t> label{0};
-    std::atomic<Segment*> seg{nullptr};
+    spr::atomic<std::uint64_t> label{0};
+    spr::atomic<Segment*> seg{nullptr};
     Item* prev = nullptr;  ///< guarded by the owning segment's spinlock
     Item* next = nullptr;  ///< guarded by the owning segment's spinlock
   };
 
   struct Segment {
     om::ConcurrentOrderList::Item* gitem = nullptr;
-    std::atomic<std::uint64_t> lver{0};  ///< seqlock for local relabels
-    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    spr::atomic<std::uint64_t> lver{0};  ///< seqlock for local relabels
+    spr::atomic_flag lock;  // C++20: default-initialized clear
     Item* head = nullptr;
     Item* tail = nullptr;
     std::size_t count = 0;
@@ -59,7 +59,7 @@ class SegmentList {
       // Yield after a few failed attempts: on oversubscribed (or 1-core)
       // hosts the holder may be preempted and spinning would livelock.
       for (int spins = 0; lock.test_and_set(std::memory_order_acquire);)
-        if (++spins >= 64) std::this_thread::yield();
+        if (++spins >= kSpinYieldThreshold) spr::thread_yield();
     }
     void release() { lock.clear(std::memory_order_release); }
   };
@@ -122,7 +122,7 @@ class SegmentList {
   /// into a fresh segment placed immediately after it in the global tier.
   /// One global-tier insertion. Serialized by an internal mutex.
   void split_tail(Item* first) {
-    std::lock_guard<std::mutex> guard(split_mu_);
+    spr::lock_guard<spr::mutex> guard(split_mu_);
     Segment* src = first->seg.load(std::memory_order_relaxed);
     src->acquire();
     // Seqlock write section: queries retry while gver_ is odd.
@@ -165,7 +165,7 @@ class SegmentList {
   /// Lock-free: true iff a comes strictly before b in the total order.
   bool less(const Item* a, const Item* b) const {
     for (int spins = 0;; ++spins) {
-      if (spins >= 64) std::this_thread::yield();
+      if (spins >= kSpinYieldThreshold) spr::thread_yield();
       const std::uint64_t g0 = gver_.load(std::memory_order_acquire);
       if (g0 & 1) continue;  // split in flight
       Segment* sa = a->seg.load(std::memory_order_acquire);
@@ -216,6 +216,14 @@ class SegmentList {
 
  private:
   static constexpr std::uint64_t kMax = ~0ULL;
+  // Spin budget before ceding the core to a (possibly preempted) writer;
+  // 1 under the model checker so spin loops become scheduling points
+  // immediately instead of bloating the explored tree.
+#if defined(SPR_MODEL_CHECK)
+  static constexpr int kSpinYieldThreshold = 1;
+#else
+  static constexpr int kSpinYieldThreshold = 64;
+#endif
 
   static Item* alloc_item() { return new Item; }
 
@@ -224,7 +232,7 @@ class SegmentList {
     seg->gitem = gitem;
     Segment* raw = seg.get();
     {
-      std::lock_guard<std::mutex> guard(segments_mu_);
+      spr::lock_guard<spr::mutex> guard(segments_mu_);
       segments_.push_back(std::move(seg));
     }
     return raw;
@@ -255,13 +263,13 @@ class SegmentList {
   }
 
   om::ConcurrentOrderList global_;
-  std::atomic<std::uint64_t> gver_{0};
-  mutable std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> inserts_{0};
-  std::atomic<std::uint64_t> relabels_{0};
-  std::atomic<std::uint64_t> global_inserts_{0};
-  std::mutex split_mu_;
-  std::mutex segments_mu_;
+  spr::atomic<std::uint64_t> gver_{0};
+  mutable spr::atomic<std::uint64_t> retries_{0};
+  spr::atomic<std::uint64_t> inserts_{0};
+  spr::atomic<std::uint64_t> relabels_{0};
+  spr::atomic<std::uint64_t> global_inserts_{0};
+  spr::mutex split_mu_;
+  spr::mutex segments_mu_;
   std::vector<std::unique_ptr<Segment>> segments_;
   Item* root_ = nullptr;
 };

@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/atomics.hpp"
+
 #include "sphybrid/segment_list.hpp"
 #include "spbags/trace_bags.hpp"
 #include "sptree/sp_maintenance.hpp"
@@ -147,8 +149,8 @@ class TwoTierSp {
 
  private:
   struct Slot {
-    std::atomic<SegmentList::Item*> eng{nullptr};
-    std::atomic<SegmentList::Item*> heb{nullptr};
+    spr::atomic<SegmentList::Item*> eng{nullptr};
+    spr::atomic<SegmentList::Item*> heb{nullptr};
   };
 
   /// Deepest slotted self-or-ancestor of thread u's leaf. Terminates at
@@ -167,7 +169,7 @@ class TwoTierSp {
   SegmentList heb_;
   std::vector<Slot> slots_;
   bags::TraceBags bags_;
-  std::atomic<std::uint64_t> fast_hits_{0};
+  spr::atomic<std::uint64_t> fast_hits_{0};
 };
 
 }  // namespace spr::hybrid

@@ -1,0 +1,70 @@
+#pragma once
+// Atomics policy layer: the single point where the lock-free core binds
+// to a memory model. Every concurrent structure in the library
+// (sphybrid/deque.hpp, sphybrid/segment_list.hpp, om/concurrent_om.hpp,
+// spbags/dsu.hpp, sphybrid/two_tier_sp.hpp) declares its shared state as
+// spr::atomic<T> / spr::atomic_flag / spr::mutex and spins via
+// spr::thread_yield(), never touching <atomic> or <thread> directly.
+//
+//  - Normal builds: zero-cost aliases of std::atomic / std::atomic_flag /
+//    std::mutex; thread_yield() is std::this_thread::yield(). Release
+//    codegen is identical to using the std types (checked: BENCH_2.json
+//    vs BENCH_1.json).
+//  - -DSPR_MODEL_CHECK=ON builds: the same names dispatch to spr::mc
+//    (mc/atomic.hpp), where every load/store/RMW/lock is a scheduling
+//    point of a cooperative model checker that explores interleavings
+//    and stale-read weak-memory behaviors systematically (mc/checker.hpp
+//    has the exploration driver; tests/mc_test.cpp the scenarios).
+//
+// Memory orders stay spelled as std::memory_order in client code; the
+// model checker consumes the same enum.
+
+#if defined(SPR_MODEL_CHECK)
+
+#include "mc/atomic.hpp"
+
+namespace spr {
+
+template <typename T>
+using atomic = mc::atomic<T>;
+using atomic_flag = mc::atomic_flag;
+using mutex = mc::mutex;
+template <typename M>
+using lock_guard = std::lock_guard<M>;
+
+/// Spin-loop yield: under the checker this is a mandatory context switch
+/// (the spinner cannot make progress until another thread runs).
+inline void thread_yield() { mc::yield(); }
+
+/// Standalone fence. The checker treats it as a scheduling point only —
+/// fence-induced synchronization is NOT modeled (the library deliberately
+/// carries all happens-before edges on atomic release/acquire pairs; see
+/// om/concurrent_om.hpp's seqlock comment).
+inline void atomic_thread_fence(std::memory_order mo) { mc::fence(mo); }
+
+}  // namespace spr
+
+#else  // !SPR_MODEL_CHECK
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace spr {
+
+template <typename T>
+using atomic = std::atomic<T>;
+using atomic_flag = std::atomic_flag;
+using mutex = std::mutex;
+template <typename M>
+using lock_guard = std::lock_guard<M>;
+
+inline void thread_yield() { std::this_thread::yield(); }
+
+inline void atomic_thread_fence(std::memory_order mo) {
+  std::atomic_thread_fence(mo);
+}
+
+}  // namespace spr
+
+#endif  // SPR_MODEL_CHECK

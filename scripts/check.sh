@@ -1,14 +1,52 @@
 #!/usr/bin/env bash
 # Local tier-1 verification: configure, build, and run the test suite.
-# Usage: scripts/check.sh [--bench]   (--bench also builds bench/)
+#
+# Usage: scripts/check.sh [--bench] [--mc] [--san [KIND]]
+#   --bench      also build bench/ harnesses
+#   --mc         also build -DSPR_MODEL_CHECK=ON (build-mc/) and run the
+#                systematic-concurrency suite (mc_test + seeded-bug tests)
+#   --san [KIND] also build -DSPR_SANITIZE=KIND (build-san/) and run the
+#                suite under it; KIND defaults to "address;undefined"
+#                (use "thread" for TSan — not combinable with ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH=OFF
-if [[ "${1:-}" == "--bench" ]]; then
-  BENCH=ON
-fi
+MC=0
+SAN=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench) BENCH=ON ;;
+    --mc) MC=1 ;;
+    --san)
+      SAN="address;undefined"
+      if [[ "${2:-}" != "" && "${2:0:2}" != "--" ]]; then
+        SAN="$2"
+        shift
+      fi
+      ;;
+    *)
+      echo "unknown flag: $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
 
 cmake -B build -S . -DBUILD_BENCH=${BENCH}
 cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ -n "$SAN" ]]; then
+  cmake -B build-san -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPR_SANITIZE="$SAN"
+  cmake --build build-san -j "$(nproc)"
+  ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "$MC" == 1 ]]; then
+  cmake -B build-mc -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPR_MODEL_CHECK=ON
+  cmake --build build-mc -j "$(nproc)"
+  ctest --test-dir build-mc --output-on-failure -j "$(nproc)"
+fi

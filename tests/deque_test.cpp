@@ -1,0 +1,126 @@
+// Deterministic single-threaded edge cases for ChaseLevDeque. The
+// concurrent behavior (owner/thief races, kAbort discrimination under
+// contention) is model-checked in tests/mc_test.cpp; these tests pin
+// down the index arithmetic and buffer management that no interleaving
+// exercise can isolate: wrap-around through the capacity mask, growth
+// on a full buffer preserving both orders, and the empty-vs-lost steal
+// return codes.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sphybrid/deque.hpp"
+
+namespace {
+
+using spr::hybrid::ChaseLevDeque;
+using Steal = ChaseLevDeque<int>::StealResult;
+
+TEST(ChaseLevDeque, IndexWrapAroundNearCapacityMask) {
+  // Capacity stays 8 throughout: the deque never holds more than 8
+  // entries, but top/bottom march far past the capacity, so every slot
+  // index goes through the mask many times and the top/bottom counters
+  // pass several multiples of the capacity.
+  ChaseLevDeque<int> d(8);
+  int next = 0;      // next value to push
+  int expected = 0;  // next value a steal must see (FIFO)
+  for (int round = 0; round < 100; ++round) {
+    // Fill to capacity, then drain 5 from the top: the live window
+    // [top, bottom) slides right and straddles slot-index wrap points.
+    while (d.size_relaxed() < 8) d.push_bottom(next++);
+    for (int i = 0; i < 5; ++i) {
+      int v = -1;
+      ASSERT_EQ(d.steal(v), Steal::kStolen);
+      ASSERT_EQ(v, expected++);
+    }
+  }
+  // Drain what's left; values must still come out in FIFO order.
+  int v = -1;
+  while (d.steal(v) == Steal::kStolen) EXPECT_EQ(v, expected++);
+  EXPECT_EQ(expected, next);
+  EXPECT_EQ(d.size_relaxed(), 0);
+}
+
+TEST(ChaseLevDeque, GrowOnFullPreservesFifoStealOrder) {
+  ChaseLevDeque<int> d(8);
+  // Offset top so the live window wraps in the OLD buffer before the
+  // grow: copies must land at the same logical indices in the new one.
+  for (int i = 0; i < 6; ++i) d.push_bottom(i);
+  for (int i = 0; i < 6; ++i) {
+    int v = -1;
+    ASSERT_EQ(d.steal(v), Steal::kStolen);
+  }
+  for (int i = 0; i < 30; ++i) d.push_bottom(i);  // grows 8 -> 16 -> 32
+  for (int i = 0; i < 30; ++i) {
+    int v = -1;
+    ASSERT_EQ(d.steal(v), Steal::kStolen) << "at " << i;
+    EXPECT_EQ(v, i);  // oldest first
+  }
+  int v = -1;
+  EXPECT_EQ(d.steal(v), Steal::kEmpty);
+}
+
+TEST(ChaseLevDeque, GrowOnFullPreservesLifoPopOrder) {
+  ChaseLevDeque<int> d(8);
+  for (int i = 0; i < 30; ++i) d.push_bottom(i);
+  for (int i = 29; i >= 0; --i) {
+    int v = -1;
+    ASSERT_TRUE(d.pop_bottom(v)) << "at " << i;
+    EXPECT_EQ(v, i);  // newest first
+  }
+  int v = -1;
+  EXPECT_FALSE(d.pop_bottom(v));
+}
+
+TEST(ChaseLevDeque, MixedPopAndStealAcrossGrowth) {
+  ChaseLevDeque<int> d(8);
+  std::vector<bool> seen(200, false);
+  int pushed = 0, taken = 0;
+  while (taken < 200) {
+    for (int i = 0; i < 7 && pushed < 200; ++i) d.push_bottom(pushed++);
+    int v = -1;
+    if (d.steal(v) == Steal::kStolen) {  // oldest
+      ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = true;
+      ++taken;
+    }
+    if (d.pop_bottom(v)) {  // newest
+      ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = true;
+      ++taken;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);  // nothing lost, nothing duplicated
+}
+
+TEST(ChaseLevDeque, StealOnEmptyReturnsEmptyNotAbort) {
+  // kEmpty means "there was nothing to take"; kAbort means "there was
+  // something but another thread won the race". Single-threaded, the
+  // race can't be lost, so every failed steal here must be kEmpty.
+  ChaseLevDeque<int> d(8);
+  int v = -1;
+  EXPECT_EQ(d.steal(v), Steal::kEmpty);
+  d.push_bottom(1);
+  ASSERT_EQ(d.steal(v), Steal::kStolen);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(d.steal(v), Steal::kEmpty);  // emptied by the steal itself
+  d.push_bottom(2);
+  ASSERT_TRUE(d.pop_bottom(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(d.steal(v), Steal::kEmpty);  // emptied by the owner's pop
+}
+
+TEST(ChaseLevDeque, PopOnEmptyLeavesDequeUsable) {
+  ChaseLevDeque<int> d(8);
+  int v = -1;
+  EXPECT_FALSE(d.pop_bottom(v));  // empty pop rolls bottom back
+  d.push_bottom(7);
+  ASSERT_TRUE(d.pop_bottom(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(d.pop_bottom(v));
+  EXPECT_EQ(d.size_relaxed(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Negative controls for the spr::mc checker: each binary compiles the
+// REAL headers with one deliberately seeded memory-ordering bug (scoped
+// to MC builds via SPR_MC_SEED_BUG_* in the header) and asserts that
+// systematic exploration (a) finds a violating schedule and (b) the
+// recorded decision path REPLAYS to the same violation — the
+// "replayable schedule trace" requirement of ISSUE 8.
+//
+//  - mc_bug_deque_test   (-DSPR_MC_SEED_BUG_DEQUE_PUSH_RELAXED): demotes
+//    push_bottom's publishing store of `bottom` from release to relaxed.
+//    A thief that observes the pushed bottom value then has no
+//    happens-before edge to the slot write and can steal a stale slot
+//    value; the conservation oracle (stolen ∪ drained == pushed) trips.
+//  - mc_bug_seqlock_test (-DSPR_MC_SEED_BUG_SEQLOCK_RELAXED): demotes
+//    ConcurrentOrderList::precedes' label loads from acquire to
+//    relaxed. Reading a mid-relabel label no longer synchronizes with
+//    the relabeler, so the seqlock validation can re-read the stale
+//    even version and vouch for a torn (old, new) label pair, flipping
+//    an order verdict.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mc/checker.hpp"
+#include "om/concurrent_om.hpp"
+#include "sphybrid/deque.hpp"
+
+namespace mc = spr::mc;
+
+#if defined(SPR_MC_SEED_BUG_DEQUE_PUSH_RELAXED)
+
+TEST(McSeededBug, DequeRelaxedPublishIsCaught) {
+  using spr::hybrid::ChaseLevDeque;
+  using Steal = ChaseLevDeque<int>::StealResult;
+  mc::Options o;
+  o.preemption_bound = 2;
+  o.max_dfs_schedules = 20000;
+  o.random_schedules = 20000;
+  o.stale_read_budget = 4;
+  const mc::Episode episode = [](mc::Run& r) {
+    ChaseLevDeque<int> d;
+    int sv = -1;
+    Steal res = Steal::kEmpty;
+    r.spawn([&] {
+      d.push_bottom(7);
+      d.push_bottom(8);
+    });
+    r.spawn([&] {
+      int v = 0;
+      res = d.steal(v);
+      if (res == Steal::kStolen) sv = v;
+    });
+    r.join_all();
+    std::vector<int> got;
+    if (res == Steal::kStolen) got.push_back(sv);
+    int v = 0;
+    while (d.pop_bottom(v)) got.push_back(v);
+    bool seen7 = false, seen8 = false;
+    for (int x : got) {
+      SPR_MC_ASSERT(x == 7 || x == 8, "a value that was never pushed");
+      (x == 7 ? seen7 : seen8) = true;
+    }
+    SPR_MC_ASSERT(got.size() == 2 && seen7 && seen8,
+                  "both pushed items recovered exactly once");
+  };
+  const mc::Stats st = mc::explore(o, episode);
+  ASSERT_TRUE(st.failed)
+      << "the checker must catch the seeded relaxed-publish bug";
+  EXPECT_FALSE(st.failure_schedule.empty());
+  EXPECT_FALSE(st.failure_trace.empty());
+  std::printf("[  mc    ] caught after %llu episodes: %s\n",
+              static_cast<unsigned long long>(st.episodes),
+              st.failure_message.c_str());
+  // The decision path must reproduce the violation deterministically.
+  const mc::Stats re =
+      mc::replay(o, episode, st.failure_schedule, st.failure_bound);
+  ASSERT_TRUE(re.failed) << "recorded schedule did not replay the violation";
+  EXPECT_EQ(re.failure_message, st.failure_message);
+}
+
+#elif defined(SPR_MC_SEED_BUG_SEQLOCK_RELAXED)
+
+TEST(McSeededBug, SeqlockRelaxedLabelReadIsCaught) {
+  using spr::om::ConcurrentOrderList;
+  mc::Options o;
+  o.preemption_bound = 2;
+  o.max_dfs_schedules = 40000;
+  o.random_schedules = 40000;
+  o.stale_read_budget = 4;
+  const mc::Episode episode = [](mc::Run& r) {
+    ConcurrentOrderList om;
+    ConcurrentOrderList::Item* a = om.insert_after(om.base());
+    om.insert_after(a);  // initial successor; ends up last before base's end
+    // Narrow a's gap to 1 so the racing insert relabels the WHOLE list.
+    // y and z = y->next are adjacent mid-chain items whose label ranges
+    // CROSS between epochs: old labels sit near kMax/2, new labels are
+    // small multiples of the relabel stride — so a torn read pairing
+    // y's old label with z's new label inverts their comparison.
+    ConcurrentOrderList::Item* y = om.insert_after(a);
+    while (y->label.load(std::memory_order_relaxed) -
+               a->label.load(std::memory_order_relaxed) >=
+           2)
+      y = om.insert_after(a);
+    ConcurrentOrderList::Item* z = y->next;  // setup phase: links are stable
+    r.spawn([&] { om.insert_after(a); });    // triggers relabel_all_locked
+    r.spawn([&] {
+      SPR_MC_ASSERT(om.precedes(y, z),
+                    "y < z must survive a concurrent relabel");
+      SPR_MC_ASSERT(!om.precedes(z, y),
+                    "z < y contradicts the maintained order");
+    });
+    r.join_all();
+  };
+  const mc::Stats st = mc::explore(o, episode);
+  ASSERT_TRUE(st.failed)
+      << "the checker must catch the seeded relaxed-label-read bug";
+  EXPECT_FALSE(st.failure_schedule.empty());
+  EXPECT_FALSE(st.failure_trace.empty());
+  std::printf("[  mc    ] caught after %llu episodes: %s\n",
+              static_cast<unsigned long long>(st.episodes),
+              st.failure_message.c_str());
+  const mc::Stats re =
+      mc::replay(o, episode, st.failure_schedule, st.failure_bound);
+  ASSERT_TRUE(re.failed) << "recorded schedule did not replay the violation";
+  EXPECT_EQ(re.failure_message, st.failure_message);
+}
+
+#else
+#error "mc_bug_test.cpp must be compiled with exactly one SPR_MC_SEED_BUG_*"
+#endif
