@@ -8,22 +8,28 @@
 // via SegmentList::split_tail while other workers query concurrently, so
 // every field read outside the mutex is atomic.
 //
-// ROADMAP open item: replace the mutex insert path with the paper's
-// O(1)-amortized two-level concurrent structure (and the DePa/Utterback
-// style lock-free variants). This implementation is correct but simple:
-// linearizable, lock-free reads, O(lg n) amortized insert (full relabels).
+// This is the ORACLE backend of the om::Backend shootout: correct but
+// simple — linearizable, lock-free reads, O(lg n) amortized insert with
+// O(n) full relabels, every insert serialized on one mutex. The scalable
+// implementations live in om/two_level_om.hpp (the paper's two-level
+// structure, finely locked per group) and om/forkpath_om.hpp (DePa-style
+// coordination-free fork-path labels).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 
+#include "om/backend.hpp"
 #include "util/atomics.hpp"
 
 namespace spr::om {
 
 class ConcurrentOrderList {
  public:
+  static constexpr const char* kName = "mutex-serial";
+  using Label = std::uint64_t;
+
   // The seqlock's data loads. precedes() relies on these being ACQUIRE:
   // reading a label written inside a relabel epoch synchronizes with the
   // relabeler, which forces the validating re-read of `version_` to
@@ -65,7 +71,13 @@ class ConcurrentOrderList {
   Item* base() const { return base_; }
 
   Item* insert_after(Item* x) {
-    spr::lock_guard<spr::mutex> lock(mu_);
+    // Counted acquisition: a failed try_lock is a contended insert — the
+    // shootout's lock_waits metric (high here, ~0 for the finer backends).
+    if (!mu_.try_lock()) {
+      lock_waits_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+    spr::lock_guard<spr::mutex> lock(mu_, std::adopt_lock);
     const std::uint64_t lo = x->label.load(std::memory_order_relaxed);
     const std::uint64_t hi =
         x->next != nullptr ? x->next->label.load(std::memory_order_relaxed)
@@ -106,9 +118,16 @@ class ConcurrentOrderList {
     }
   }
 
+  /// Diagnostic position snapshot (see om/backend.hpp: only comparable
+  /// while no relabel is concurrently rewriting these items).
+  Label label(const Item* it) const { return it->label.load(kLabelRead); }
+
   std::size_t size() const { return size_.load(std::memory_order_relaxed); }
   std::uint64_t query_retries() const {
     return retries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lock_waits() const {
+    return lock_waits_.load(std::memory_order_relaxed);
   }
 
   std::size_t memory_bytes() const {
@@ -147,6 +166,7 @@ class ConcurrentOrderList {
 
   spr::mutex mu_;
   spr::atomic<std::uint64_t> version_{0};
+  spr::atomic<std::uint64_t> lock_waits_{0};
   mutable spr::atomic<std::uint64_t> retries_{0};
   Item* base_ = nullptr;
   Item* head_ = nullptr;
@@ -154,5 +174,7 @@ class ConcurrentOrderList {
   spr::atomic<std::size_t> size_{0};    ///< read concurrently with inserts
   spr::atomic<std::uint64_t> inserts_{0};
 };
+
+static_assert(Backend<ConcurrentOrderList>);
 
 }  // namespace spr::om

@@ -11,8 +11,9 @@
 // top level, whose relabeling cost amortizes to O(lg n) per split, i.e.
 // O(lg n / kBucketCap) = O(1) per item insert for any practical n.
 //
-// Item pointers are stable for the lifetime of the list: relabeling
-// rewrites label fields and bucket links but never moves or frees nodes.
+// Item pointers are stable until explicitly erased: relabeling rewrites
+// label fields and bucket links but never moves or frees nodes, and
+// erase() frees only the erased node (plus its bucket once empty).
 
 #include <cstddef>
 #include <cstdint>
@@ -23,8 +24,10 @@ class OrderList {
  public:
   struct Stats {
     std::uint64_t inserts = 0;        ///< items inserted
+    std::uint64_t erases = 0;         ///< items reclaimed
     std::uint64_t items_moved = 0;    ///< item+bucket label rewrites
     std::uint64_t bucket_splits = 0;  ///< bottom-level splits
+    std::uint64_t buckets_freed = 0;  ///< emptied buckets reclaimed
     std::uint64_t top_relabels = 0;   ///< top-level range relabel events
   };
 
@@ -122,6 +125,38 @@ class OrderList {
     Bucket* pb = x->bucket->prev;
     if (pb != nullptr) return insert_after(pb->last);
     return insert_front();
+  }
+
+  /// Erases `x`, reclaiming its node (and its bucket, if emptied). The
+  /// caller must not dereference `x` afterward. Deletion never perturbs
+  /// labels, so every other Item pointer and all orderings survive.
+  void erase(Item* x) {
+    Bucket* b = x->bucket;
+    if (x->prev != nullptr)
+      x->prev->next = x->next;
+    else
+      b->first = x->next;
+    if (x->next != nullptr)
+      x->next->prev = x->prev;
+    else
+      b->last = x->prev;
+    --b->count;
+    --size_;
+    ++stats_.erases;
+    delete x;
+    if (b->count == 0) {
+      if (b->prev != nullptr)
+        b->prev->next = b->next;
+      else
+        head_ = b->next;
+      if (b->next != nullptr)
+        b->next->prev = b->prev;
+      else
+        tail_ = b->prev;
+      --buckets_;
+      ++stats_.buckets_freed;
+      delete b;
+    }
   }
 
   /// True iff `a` is strictly before `b` in the maintained order.

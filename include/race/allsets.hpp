@@ -25,9 +25,11 @@ namespace spr::race {
 
 namespace detail {
 
+/// Templated on the SP algorithm — same contract as DetectVisitor.
+template <typename SpAlgo>
 class AllSetsVisitor final : public tree::WalkVisitor {
  public:
-  AllSetsVisitor(const tree::ParseTree& t, tree::SpMaintenance& algo)
+  AllSetsVisitor(const tree::ParseTree& t, SpAlgo& algo)
       : tree_(t), algo_(algo) {}
 
   void enter_internal(const tree::Node& n) override {
@@ -91,7 +93,7 @@ class AllSetsVisitor final : public tree::WalkVisitor {
   }
 
   const tree::ParseTree& tree_;
-  tree::SpMaintenance& algo_;
+  SpAlgo& algo_;
   std::unordered_map<std::uint64_t, std::vector<Entry>> histories_;
 };
 
@@ -99,9 +101,9 @@ class AllSetsVisitor final : public tree::WalkVisitor {
 
 /// Runs ALL-SETS lock-aware data-race detection over `t` with a fresh
 /// SP-maintenance backend `algo`.
-inline RaceReport detect_lock_races(const tree::ParseTree& t,
-                                    tree::SpMaintenance& algo) {
-  detail::AllSetsVisitor v(t, algo);
+template <typename SpAlgo>
+inline RaceReport detect_lock_races(const tree::ParseTree& t, SpAlgo& algo) {
+  detail::AllSetsVisitor<SpAlgo> v(t, algo);
   serial_walk(t, v);
   util::do_not_optimize(v.checksum);
   return v.report;

@@ -79,9 +79,15 @@ inline void shadow_apply(ShadowCell& c, const tree::Access& a,
 
 namespace detail {
 
+/// Templated on the SP algorithm so detection can run over any backend
+/// (tree::SpMaintenance subclasses, a concrete SpOrder, or a templated
+/// hybrid facade) with statically bound — devirtualized — queries.
+/// SpAlgo needs enter_internal / between_children / leave_internal /
+/// leave_leaf / visit_leaf / precedes.
+template <typename SpAlgo>
 class DetectVisitor final : public tree::WalkVisitor {
  public:
-  DetectVisitor(const tree::ParseTree& t, tree::SpMaintenance& algo)
+  DetectVisitor(const tree::ParseTree& t, SpAlgo& algo)
       : tree_(t), algo_(algo) {}
 
   void enter_internal(const tree::Node& n) override {
@@ -118,7 +124,7 @@ class DetectVisitor final : public tree::WalkVisitor {
   }
 
   const tree::ParseTree& tree_;
-  tree::SpMaintenance& algo_;
+  SpAlgo& algo_;
   ShadowMemory shadow_;
 };
 
@@ -126,9 +132,9 @@ class DetectVisitor final : public tree::WalkVisitor {
 
 /// Runs serial on-the-fly determinacy-race detection over `t`, using a
 /// fresh `algo` (any SpMaintenance backend) for SP queries.
-inline RaceReport detect_races(const tree::ParseTree& t,
-                               tree::SpMaintenance& algo) {
-  detail::DetectVisitor v(t, algo);
+template <typename SpAlgo>
+inline RaceReport detect_races(const tree::ParseTree& t, SpAlgo& algo) {
+  detail::DetectVisitor<SpAlgo> v(t, algo);
   serial_walk(t, v);
   util::do_not_optimize(v.checksum);
   return v.report;

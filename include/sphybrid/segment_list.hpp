@@ -3,7 +3,8 @@
 // (English or Hebrew) of the threads (Sections 4-6).
 //
 // The total order is chopped into contiguous SEGMENTS. The global tier is
-// a ConcurrentOrderList over one item per segment; the local tier gives
+// any om::Backend (om/backend.hpp) over one item per segment — default
+// om::ConcurrentOrderList; the local tier gives
 // every element a 64-bit label inside its segment. x < y holds iff
 //   segment(x) == segment(y) ? label(x) < label(y)
 //                            : segment(x) precedes segment(y) globally.
@@ -31,13 +32,17 @@
 #include <mutex>
 #include <vector>
 
+#include "om/backend.hpp"
 #include "om/concurrent_om.hpp"
 #include "util/atomics.hpp"
 
 namespace spr::hybrid {
 
-class SegmentList {
+template <typename GlobalOm = om::ConcurrentOrderList>
+  requires om::Backend<GlobalOm>
+class BasicSegmentList {
  public:
+  using GlobalItem = typename GlobalOm::Item;
   struct Segment;
 
   struct Item {
@@ -48,7 +53,7 @@ class SegmentList {
   };
 
   struct Segment {
-    om::ConcurrentOrderList::Item* gitem = nullptr;
+    GlobalItem* gitem = nullptr;
     spr::atomic<std::uint64_t> lver{0};  ///< seqlock for local relabels
     spr::atomic_flag lock;  // C++20: default-initialized clear
     Item* head = nullptr;
@@ -64,7 +69,7 @@ class SegmentList {
     void release() { lock.clear(std::memory_order_release); }
   };
 
-  SegmentList() {
+  BasicSegmentList() {
     Segment* s = new_segment(global_.base());
     root_ = alloc_item();
     root_->label.store(kMax / 2, std::memory_order_relaxed);
@@ -72,10 +77,10 @@ class SegmentList {
     s->head = s->tail = root_;
     s->count = 1;
   }
-  SegmentList(const SegmentList&) = delete;
-  SegmentList& operator=(const SegmentList&) = delete;
+  BasicSegmentList(const BasicSegmentList&) = delete;
+  BasicSegmentList& operator=(const BasicSegmentList&) = delete;
 
-  ~SegmentList() {
+  ~BasicSegmentList() {
     for (auto& s : segments_) {
       Item* it = s->head;
       while (it != nullptr) {
@@ -227,7 +232,7 @@ class SegmentList {
 
   static Item* alloc_item() { return new Item; }
 
-  Segment* new_segment(om::ConcurrentOrderList::Item* gitem) {
+  Segment* new_segment(GlobalItem* gitem) {
     auto seg = std::make_unique<Segment>();
     seg->gitem = gitem;
     Segment* raw = seg.get();
@@ -262,7 +267,7 @@ class SegmentList {
     s->lver.fetch_add(1, std::memory_order_acq_rel);
   }
 
-  om::ConcurrentOrderList global_;
+  GlobalOm global_;
   spr::atomic<std::uint64_t> gver_{0};
   mutable spr::atomic<std::uint64_t> retries_{0};
   spr::atomic<std::uint64_t> inserts_{0};
@@ -273,5 +278,8 @@ class SegmentList {
   std::vector<std::unique_ptr<Segment>> segments_;
   Item* root_ = nullptr;
 };
+
+/// Default instantiation: mutex-serial global tier (the oracle backend).
+using SegmentList = BasicSegmentList<>;
 
 }  // namespace spr::hybrid

@@ -5,9 +5,9 @@
 // as a two-tier SegmentList so that:
 //  - every enter_internal performs two LOCAL (segment-internal) inserts
 //    per list, lock-free against queries, no global-tier traffic;
-//  - only a steal cuts segments and inserts into the global tier
-//    (ConcurrentOrderList): one English cut and two Hebrew cuts, i.e.
-//    exactly 3 global OM insertions per steal.
+//  - only a steal cuts segments and inserts into the global tier (any
+//    om::Backend; default ConcurrentOrderList): one English cut and two
+//    Hebrew cuts, i.e. exactly 3 global OM insertions per steal.
 // Queries answer with Theorem 4's characterization
 //   u < v  iff  Eng(u) < Eng(v) and Heb(u) < Heb(v),
 // which is schedule-independent, so parallel runs agree with the serial
@@ -34,9 +34,15 @@
 
 namespace spr::hybrid {
 
-class TwoTierSp {
+template <typename GlobalOm = om::ConcurrentOrderList>
+  requires om::Backend<GlobalOm>
+class BasicTwoTierSp {
  public:
-  TwoTierSp(const tree::ParseTree& t, bags::AtomicDisjointSets::Mode dsu_mode)
+  using SegList = BasicSegmentList<GlobalOm>;
+  using SegItem = typename SegList::Item;
+
+  BasicTwoTierSp(const tree::ParseTree& t,
+                 bags::AtomicDisjointSets::Mode dsu_mode)
       : tree_(t),
         slots_(t.node_count()),
         bags_(t.leaf_count(), dsu_mode) {
@@ -52,10 +58,10 @@ class TwoTierSp {
   /// goes after the base, and the Hebrew item swaps sides at P-nodes.
   void enter_internal(const tree::Node& n) {
     const std::size_t id = static_cast<std::size_t>(n.id);
-    SegmentList::Item* e = slots_[id].eng.load(std::memory_order_acquire);
-    SegmentList::Item* h = slots_[id].heb.load(std::memory_order_relaxed);
-    SegmentList::Item* e_right = eng_.insert_after(e);
-    SegmentList::Item* h_new = heb_.insert_after(h);
+    SegItem* e = slots_[id].eng.load(std::memory_order_acquire);
+    SegItem* h = slots_[id].heb.load(std::memory_order_relaxed);
+    SegItem* e_right = eng_.insert_after(e);
+    SegItem* h_new = heb_.insert_after(h);
     Slot& left = slots_[static_cast<std::size_t>(n.left)];
     Slot& right = slots_[static_cast<std::size_t>(n.right)];
     if (n.kind == tree::NodeKind::kSeries) {
@@ -107,8 +113,8 @@ class TwoTierSp {
     const Slot* su = resolve(u);
     const Slot* sv = resolve(v);
     if (su == sv) return false;  // both unresolved below one ancestor
-    const SegmentList::Item* eu = su->eng.load(std::memory_order_acquire);
-    const SegmentList::Item* ev = sv->eng.load(std::memory_order_acquire);
+    const SegItem* eu = su->eng.load(std::memory_order_acquire);
+    const SegItem* ev = sv->eng.load(std::memory_order_acquire);
     if (!eng_.less(eu, ev)) return false;
     return heb_.less(su->heb.load(std::memory_order_relaxed),
                      sv->heb.load(std::memory_order_relaxed));
@@ -149,8 +155,8 @@ class TwoTierSp {
 
  private:
   struct Slot {
-    spr::atomic<SegmentList::Item*> eng{nullptr};
-    spr::atomic<SegmentList::Item*> heb{nullptr};
+    spr::atomic<SegItem*> eng{nullptr};
+    spr::atomic<SegItem*> heb{nullptr};
   };
 
   /// Deepest slotted self-or-ancestor of thread u's leaf. Terminates at
@@ -165,11 +171,14 @@ class TwoTierSp {
   }
 
   const tree::ParseTree& tree_;
-  SegmentList eng_;
-  SegmentList heb_;
+  SegList eng_;
+  SegList heb_;
   std::vector<Slot> slots_;
   bags::TraceBags bags_;
   spr::atomic<std::uint64_t> fast_hits_{0};
 };
+
+/// Default instantiation: mutex-serial global tier (the oracle backend).
+using TwoTierSp = BasicTwoTierSp<>;
 
 }  // namespace spr::hybrid

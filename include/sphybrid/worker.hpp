@@ -143,9 +143,14 @@ class NaiveSpOrder final : public order::SpOrder {
 /// The multi-worker engine. Construct, call run() once, then (for kNaive
 /// and kHybrid) precedes() remains valid for arbitrary post-run queries —
 /// the stress tests cross-check it pairwise against the LCA oracle.
-class WorkStealingEngine {
+/// GlobalOm selects the kHybrid global tier's om::Backend.
+template <typename GlobalOm = om::ConcurrentOrderList>
+  requires om::Backend<GlobalOm>
+class BasicWorkStealingEngine {
  public:
-  WorkStealingEngine(const tree::ParseTree& t, const ExecOptions& o)
+  using TwoTier = BasicTwoTierSp<GlobalOm>;
+
+  BasicWorkStealingEngine(const tree::ParseTree& t, const ExecOptions& o)
       : tree_(t), opts_(o), nworkers_(resolve_workers(o.workers)) {
     const std::size_t nn = tree_.node_count();
     pending_ = std::make_unique<std::atomic<std::uint8_t>[]>(nn);
@@ -157,7 +162,7 @@ class WorkStealingEngine {
       stolen_[i].store(0, std::memory_order_relaxed);
     }
     if (opts_.mode == Mode::kHybrid)
-      sp_ = std::make_unique<TwoTierSp>(tree_, opts_.dsu_mode);
+      sp_ = std::make_unique<TwoTier>(tree_, opts_.dsu_mode);
     if (opts_.mode == Mode::kNaive)
       naive_ = std::make_unique<detail::NaiveSpOrder>(tree_);
     workers_.reserve(nworkers_);
@@ -217,7 +222,7 @@ class WorkStealingEngine {
     throw std::logic_error("precedes() requires kHybrid or kNaive");
   }
 
-  const TwoTierSp* two_tier() const { return sp_.get(); }
+  const TwoTier* two_tier() const { return sp_.get(); }
 
  private:
   struct WorkerCtx {
@@ -428,7 +433,7 @@ class WorkStealingEngine {
   std::unique_ptr<std::atomic<std::uint8_t>[]> stolen_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> left_root_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> right_root_;
-  std::unique_ptr<TwoTierSp> sp_;
+  std::unique_ptr<TwoTier> sp_;
   std::unique_ptr<detail::NaiveSpOrder> naive_;
   std::mutex naive_mu_;
   std::vector<std::unique_ptr<WorkerCtx>> workers_;
@@ -437,5 +442,8 @@ class WorkStealingEngine {
   std::atomic<std::uint32_t> next_trace_{0};
   std::atomic<bool> done_{false};
 };
+
+/// Default instantiation: mutex-serial global tier (the oracle backend).
+using WorkStealingEngine = BasicWorkStealingEngine<>;
 
 }  // namespace spr::hybrid

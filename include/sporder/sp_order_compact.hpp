@@ -1,37 +1,112 @@
 #pragma once
-// SP-order, compact variant (footnote 2 of the paper): the parse-tree
-// slots of fully executed subtrees can be released because only *threads*
-// are ever queried, so live OM items need only cover leaves plus the
-// current spine.
+// SP-order, compact variant (footnote 2 of the paper): the OM items of a
+// fully executed subtree can be RECLAIMED, because on-the-fly queries
+// only ever compare a finished thread u against the currently executing
+// thread v, and every thread inside a completed subtree relates to any
+// thread outside it the same way (their LCA, and hence the P/S verdict,
+// is the same for the whole subtree). So once a subtree completes, its
+// whole region in both OM lists collapses to the subtree's base items.
 //
-// ROADMAP open item: this stub inherits the plain SP-order behavior and
-// releases only the bookkeeping slot array eagerly; reclaiming OM items
-// in-place requires deletion support in OrderList (planned alongside the
-// concurrent backend swap). Correctness and the Theta(1)/Theta(1) bounds
-// are identical to SpOrder.
+// Implementation: a union-find over parse-tree nodes maps every node of a
+// completed subtree to its completed root; leave_internal(n) erases the
+// two items MINTED at enter_internal(n) (the right child's English item
+// and the new Hebrew item) from the OrderLists — real deletion, via
+// OrderList::erase — and unites both children into n. A query resolves a
+// thread through find(leaf), landing on the deepest still-live slot. Live
+// items are therefore O(spine + executing leaves) instead of O(n).
+//
+// The trade-off: queries are only valid ON-THE-FLY (v currently
+// executing). Post-walk all-pairs queries would compare two collapsed
+// subtrees against each other, which footnote 2 explicitly gives up; the
+// plain SpOrder keeps that ability.
 
 #include <cstddef>
+#include <vector>
 
+#include "om/order_list.hpp"
 #include "sporder/sp_order.hpp"
 
 namespace spr::order {
 
 class SpOrderCompact final : public SpOrder {
  public:
-  using SpOrder::SpOrder;
+  explicit SpOrderCompact(const tree::ParseTree& t) : SpOrder(t) {
+    const std::size_t nn = t.node_count();
+    rep_.resize(nn);
+    for (std::size_t i = 0; i < nn; ++i)
+      rep_[i] = static_cast<tree::NodeId>(i);
+    minted_.resize(nn);
+  }
+
+  void enter_internal(const tree::Node& n) override {
+    SpOrder::enter_internal(n);
+    // Record the two items this enter minted so leave_internal can
+    // reclaim exactly them (the children's other items are the base pair,
+    // owned by an ancestor).
+    const Slot& right = node_slots_[static_cast<std::size_t>(n.right)];
+    const Slot& left = node_slots_[static_cast<std::size_t>(n.left)];
+    Minted& m = minted_[static_cast<std::size_t>(n.id)];
+    m.eng = right.eng;
+    m.heb = n.kind == tree::NodeKind::kSeries ? right.heb : left.heb;
+  }
 
   void leave_internal(const tree::Node& n) override {
-    // The subtree of n is complete; its per-node slot is dead (queries go
-    // through thread_slots_). Null it so use-after-complete bugs surface.
-    node_slots_[static_cast<std::size_t>(n.id)] = Slot{};
+    // Collapse the completed subtree: both children's regions fold into
+    // n's base items, and the items minted at enter_internal(n) die.
+    const std::size_t id = static_cast<std::size_t>(n.id);
+    rep_[static_cast<std::size_t>(find(n.left))] = n.id;
+    rep_[static_cast<std::size_t>(find(n.right))] = n.id;
+    Minted& m = minted_[id];
+    english_.erase(m.eng);
+    hebrew_.erase(m.heb);
+    m = Minted{};
+  }
+
+  /// On-the-fly only: v must be executing (not yet inside any completed
+  /// subtree). u may be finished; it resolves to its completed root.
+  bool precedes(tree::ThreadId u, tree::ThreadId v) override {
+    if (u == v) return false;
+    const Slot& a = node_slots_[static_cast<std::size_t>(find(leaf_id(u)))];
+    const Slot& b = node_slots_[static_cast<std::size_t>(find(leaf_id(v)))];
+    if (a.eng == b.eng) return false;  // collapsed into one subtree
+    return english_.precedes(a.eng, b.eng) && hebrew_.precedes(a.heb, b.heb);
   }
 
   std::size_t memory_bytes() const override {
-    // Report only the live footprint the footnote-2 scheme would keep:
-    // both OM lists plus one slot per thread.
+    // Genuinely live footprint: the OrderLists shrink as subtrees
+    // complete (erase() frees nodes and emptied buckets).
     return sizeof(*this) + english_.memory_bytes() + hebrew_.memory_bytes() +
-           thread_slots_.capacity() * sizeof(Slot);
+           node_slots_.capacity() * sizeof(Slot) +
+           rep_.capacity() * sizeof(tree::NodeId) +
+           minted_.capacity() * sizeof(Minted);
   }
+
+  /// Peak live OM items across both lists (for the reclamation tests).
+  std::size_t live_om_items() const {
+    return english_.size() + hebrew_.size();
+  }
+
+ private:
+  struct Minted {
+    om::OrderList::Item* eng = nullptr;
+    om::OrderList::Item* heb = nullptr;
+  };
+
+  tree::NodeId leaf_id(tree::ThreadId t) const { return tree_.leaf(t).id; }
+
+  /// Union-find with path halving; roots are not-yet-completed nodes.
+  tree::NodeId find(tree::NodeId id) {
+    while (rep_[static_cast<std::size_t>(id)] != id) {
+      const tree::NodeId parent = rep_[static_cast<std::size_t>(id)];
+      rep_[static_cast<std::size_t>(id)] =
+          rep_[static_cast<std::size_t>(parent)];
+      id = rep_[static_cast<std::size_t>(id)];
+    }
+    return id;
+  }
+
+  std::vector<tree::NodeId> rep_;
+  std::vector<Minted> minted_;
 };
 
 }  // namespace spr::order

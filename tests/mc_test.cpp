@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "mc/checker.hpp"
+#include "om/forkpath_om.hpp"
+#include "om/two_level_om.hpp"
 #include "spbags/dsu.hpp"
 #include "sphybrid/deque.hpp"
 #include "sphybrid/segment_list.hpp"
@@ -26,6 +28,8 @@ namespace mc = spr::mc;
 using spr::bags::AtomicDisjointSets;
 using spr::hybrid::ChaseLevDeque;
 using spr::hybrid::SegmentList;
+using spr::om::ForkPathOm;
+using spr::om::TwoLevelOm;
 
 namespace {
 
@@ -265,7 +269,134 @@ TEST(McSuite, DsuConcurrentPathHalving) {
 }
 
 // ---------------------------------------------------------------------
-// The acceptance bar: >= 10k distinct schedules across the five target
+// Scenario 6: TwoLevelOm concurrent insert_after on DISTINCT pivots in
+// the SAME group — the per-group spinlock serializes them and the gap
+// exhaustion forces relabel_group_locked under the group seqlock while
+// a third thread queries lock-free. Oracle: pre-existing order survives
+// any interleaving, and the final order matches the two pivot chains.
+
+TEST(McSuite, TwoLevelInsertVsInsertVsReader) {
+  mc::Options o = base_options();
+  o.max_dfs_schedules = 3000;  // 3 threads: lean on the random phase more
+  const mc::Stats st = mc::explore(o, [&](mc::Run& r) {
+    TwoLevelOm om;
+    TwoLevelOm::Item* base = om.base();
+    // Chain after base until base's successor gap is gone (the MC build's
+    // 8-bit local label space makes this 7 inserts, well below the group
+    // cap), so the racing insert at `base` MUST relabel the group while
+    // the insert at `last` takes the same group lock from the other end.
+    TwoLevelOm::Item* last = om.insert_after(base);
+    TwoLevelOm::Item* first = last;
+    while (first->label.load(std::memory_order_relaxed) -
+               base->label.load(std::memory_order_relaxed) >=
+           2)
+      first = om.insert_after(base);
+    TwoLevelOm::Item* a = nullptr;
+    TwoLevelOm::Item* b = nullptr;
+    r.spawn([&] { a = om.insert_after(base); });  // gap gone -> relabel
+    r.spawn([&] { b = om.insert_after(last); });  // appends at the end
+    r.spawn([&] {
+      SPR_MC_ASSERT(om.precedes(base, first),
+                    "base < first must survive a concurrent relabel");
+      SPR_MC_ASSERT(om.precedes(first, last),
+                    "first < last must survive a concurrent relabel");
+      SPR_MC_ASSERT(!om.precedes(last, base), "last < base is impossible");
+    });
+    r.join_all();
+    SPR_MC_ASSERT(om.local_relabels() > 0,
+                  "the narrowed gap must have forced a local relabel");
+    // Sequential oracle on the rendezvous points.
+    const TwoLevelOm::Item* order[5] = {base, a, first, last, b};
+    for (int x = 0; x < 5; ++x)
+      for (int y = 0; y < 5; ++y)
+        SPR_MC_ASSERT(om.precedes(order[x], order[y]) == (x < y),
+                      "final two-level order disagrees with the oracle");
+  });
+  ASSERT_FALSE(st.failed) << st.failure_message << "\n" << st.failure_trace;
+  report("twolevel_insert_vs_insert", st);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 7: TwoLevelOm group SPLIT (kGroupCap is 4 under the checker)
+// racing a lock-free cross-group reader and a concurrent insert whose
+// pivot is being MOVED to the new group: the insert must retry on the
+// group pointer, and the reader must never observe a torn top/local
+// label pair (topver_ seqlock window).
+
+TEST(McSuite, TwoLevelSplitVsReader) {
+  mc::Options o = base_options();
+  o.max_dfs_schedules = 3000;
+  const mc::Stats st = mc::explore(o, [&](mc::Run& r) {
+    TwoLevelOm om;
+    TwoLevelOm::Item* base = om.base();
+    // Fill the group to its MC cap (16). Inserting after base each time,
+    // so list order is base, it[14], it[13], ..., it[0]; it[0] is the
+    // global tail and moves to the NEW group when the racing insert
+    // splits.
+    TwoLevelOm::Item* it[15];
+    for (auto*& x : it) x = om.insert_after(base);
+    TwoLevelOm::Item* nw = nullptr;
+    r.spawn([&] { nw = om.insert_after(it[0]); });  // full -> split first
+    r.spawn([&] {
+      SPR_MC_ASSERT(om.precedes(base, it[0]),
+                    "base < tail must hold through the split");
+      SPR_MC_ASSERT(om.precedes(it[14], it[0]),
+                    "cross-half order must hold through the split");
+      SPR_MC_ASSERT(!om.precedes(it[0], base), "tail < base is impossible");
+    });
+    r.join_all();
+    SPR_MC_ASSERT(om.group_count() == 2, "full group must have split once");
+    // Sequential oracle on a cross-group sample of the final order.
+    const TwoLevelOm::Item* order[6] = {base,  it[14], it[10],
+                                        it[3], it[0],  nw};
+    for (int x = 0; x < 6; ++x)
+      for (int y = 0; y < 6; ++y)
+        SPR_MC_ASSERT(om.precedes(order[x], order[y]) == (x < y),
+                      "post-split order disagrees with the oracle");
+  });
+  ASSERT_FALSE(st.failed) << st.failure_message << "\n" << st.failure_trace;
+  report("twolevel_split_vs_reader", st);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 8: ForkPathOm same-pivot insert_after race — the CAS loop's
+// linearization point. Both threads fork the SAME path; the loser must
+// re-fork below the winner. Oracle: both land strictly between the
+// pivot and its old successor, mutually ordered one way, while a
+// concurrent reader sees only schedule-independent truths.
+
+TEST(McSuite, ForkPathSamePivotCasRace) {
+  mc::Options o = base_options();
+  o.max_dfs_schedules = 3000;
+  const mc::Stats st = mc::explore(o, [&](mc::Run& r) {
+    ForkPathOm om;
+    ForkPathOm::Item* base = om.base();
+    ForkPathOm::Item* pivot = om.insert_after(base);
+    ForkPathOm::Item* succ = om.insert_after(pivot);
+    ForkPathOm::Item* a = nullptr;
+    ForkPathOm::Item* b = nullptr;
+    r.spawn([&] { a = om.insert_after(pivot); });
+    r.spawn([&] { b = om.insert_after(pivot); });
+    r.spawn([&] {
+      SPR_MC_ASSERT(om.precedes(base, pivot), "base < pivot is invariant");
+      SPR_MC_ASSERT(om.precedes(pivot, succ), "pivot < succ is invariant");
+      SPR_MC_ASSERT(!om.precedes(succ, base), "succ < base is impossible");
+    });
+    r.join_all();
+    SPR_MC_ASSERT(om.precedes(pivot, a) && om.precedes(a, succ),
+                  "a must land inside (pivot, succ)");
+    SPR_MC_ASSERT(om.precedes(pivot, b) && om.precedes(b, succ),
+                  "b must land inside (pivot, succ)");
+    SPR_MC_ASSERT(om.precedes(a, b) != om.precedes(b, a),
+                  "same-pivot winners must be mutually ordered");
+    SPR_MC_ASSERT(om.size() == 5, "every insert must be counted once");
+  });
+  ASSERT_FALSE(st.failed) << st.failure_message << "\n" << st.failure_trace;
+  report("forkpath_same_pivot_cas", st);
+}
+
+// ---------------------------------------------------------------------
+// The acceptance bar: >= 10k distinct schedules across the target
 // scenarios, all violation-free (each test above already asserted
 // that). Runs last by declaration order.
 

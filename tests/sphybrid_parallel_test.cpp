@@ -18,12 +18,15 @@
 
 #include "fjprog/generators.hpp"
 #include "fjprog/lower.hpp"
+#include "om/forkpath_om.hpp"
+#include "om/two_level_om.hpp"
 #include "sp_test_util.hpp"
 #include "sphybrid/executor.hpp"
 #include "sphybrid/worker.hpp"
 
 namespace {
 
+using spr::hybrid::BasicWorkStealingEngine;
 using spr::hybrid::ExecOptions;
 using spr::hybrid::ExecResult;
 using spr::hybrid::Mode;
@@ -134,6 +137,46 @@ TEST(SpHybridParallel, NaivePaysLockedInsertsPerNodeAtAnyWorkerCount) {
     // versus the hybrid's 3 per steal.
     EXPECT_EQ(r.om_inserts, 4 * internal);
   }
+}
+
+// The GlobalOm template parameter end-to-end: the engine instantiated
+// over each alternative om::Backend must reproduce the LCA oracle and
+// the paper's counter identities at every worker count — proof that the
+// backends are genuinely swappable behind the scheduler, not just in
+// isolation.
+template <typename GlobalOm>
+void engine_backend_leg() {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto t = spr::fj::lower_to_parse_tree(
+        spr::fj::make_random_program(seed, 120, 500));
+    const spr::testutil::Oracle oracle(t);
+    for (const unsigned workers : kWorkerCounts) {
+      ExecOptions o = base_options(seed);
+      o.mode = Mode::kHybrid;
+      o.workers = workers;
+      BasicWorkStealingEngine<GlobalOm> engine(t, o);
+      const ExecResult r = engine.run();
+      EXPECT_EQ(r.om_inserts, 3 * r.splits);
+      EXPECT_EQ(r.traces, 4 * r.splits + 1);
+      const spr::tree::ThreadId n = t.leaf_count();
+      for (spr::tree::ThreadId u = 0; u < n; ++u) {
+        for (spr::tree::ThreadId v = 0; v < n; ++v) {
+          ASSERT_EQ(engine.precedes(u, v), oracle.precedes(u, v))
+              << GlobalOm::kName << " seed=" << seed
+              << " workers=" << workers << " precedes(" << u << ", " << v
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SpHybridParallel, TwoLevelBackendMatchesOracle) {
+  engine_backend_leg<spr::om::TwoLevelOm>();
+}
+
+TEST(SpHybridParallel, ForkPathBackendMatchesOracle) {
+  engine_backend_leg<spr::om::ForkPathOm>();
 }
 
 TEST(SpHybridParallel, DsuModesAgreeUnderParallelExecution) {

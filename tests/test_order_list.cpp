@@ -164,6 +164,78 @@ TEST(LabeledList, StormTriggersFullRelabels) {
   EXPECT_GT(list.stats().items_moved, list.stats().inserts);
 }
 
+TEST(OrderList, EraseMatchesMirror) {
+  spr::util::Xoshiro256 rng(11);
+  OrderList list;
+  std::vector<OrderList::Item*> mirror;
+  mirror.push_back(list.insert_front());
+  for (int i = 1; i < 400; ++i) {
+    const std::size_t pos = rng.next_below(mirror.size());
+    mirror.insert(mirror.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                  list.insert_after(mirror[pos]));
+  }
+  // Delete a random half; the survivors must keep their exact order.
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pos = rng.next_below(mirror.size());
+    list.erase(mirror[pos]);
+    mirror.erase(mirror.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  ASSERT_EQ(list.size(), mirror.size());
+  expect_order_matches(list, mirror);
+}
+
+TEST(OrderList, ChurnDoesNotGrow) {
+  // 100k insert/erase churn against a bounded live set: storage must
+  // track the live size, not the insert total (real reclamation, the
+  // footnote-2 prerequisite) — and order must stay exact throughout.
+  constexpr int kChurn = 100000;
+  constexpr std::size_t kLive = 200;  // above kBucketCap, so splits occur
+  spr::util::Xoshiro256 rng(23);
+  OrderList list;
+  std::vector<OrderList::Item*> mirror;
+  mirror.push_back(list.insert_front());
+  std::size_t peak_bytes = 0;
+  for (int i = 0; i < kChurn; ++i) {
+    const std::size_t pos = rng.next_below(mirror.size());
+    if (mirror.size() >= kLive || (mirror.size() > 1 && rng.next_bool())) {
+      list.erase(mirror[pos]);
+      mirror.erase(mirror.begin() + static_cast<std::ptrdiff_t>(pos));
+    } else {
+      mirror.insert(mirror.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                    list.insert_after(mirror[pos]));
+    }
+    if (list.memory_bytes() > peak_bytes) peak_bytes = list.memory_bytes();
+    if (i % 10000 == 0) expect_order_matches(list, mirror);
+  }
+  ASSERT_EQ(list.size(), mirror.size());
+  expect_order_matches(list, mirror);
+  // Bounded live set -> bounded footprint, independent of churn volume
+  // (without reclamation this would be ~kChurn/2 items, 100x larger).
+  EXPECT_LT(peak_bytes,
+            sizeof(OrderList) +
+                4 * kLive *
+                    (sizeof(OrderList::Item) + sizeof(OrderList::Bucket)));
+  const auto& st = list.stats();
+  EXPECT_GT(st.erases, static_cast<std::uint64_t>(kChurn) / 4);
+  EXPECT_GT(st.bucket_splits, 0u);
+  EXPECT_GT(st.buckets_freed, 0u);
+}
+
+TEST(OrderList, EraseToEmptyThenReuse) {
+  OrderList list;
+  auto* a = list.insert_front();
+  auto* b = list.insert_after(a);
+  list.erase(a);
+  list.erase(b);
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  // The list must come back to life after full drain.
+  auto* c = list.insert_front();
+  auto* d = list.insert_after(c);
+  EXPECT_TRUE(list.precedes(c, d));
+  EXPECT_EQ(list.size(), 2u);
+}
+
 TEST(OrderList, MemoryAccounting) {
   OrderList list;
   auto* it = list.insert_front();
