@@ -14,9 +14,17 @@
 // Item pointers are stable until explicitly erased: relabeling rewrites
 // label fields and bucket links but never moves or frees nodes, and
 // erase() frees only the erased node (plus its bucket once empty).
+//
+// Items and buckets come from per-list free-list pools (util/arena.hpp):
+// inserts are pointer bumps, erase/insert churn recycles slots, and the
+// whole list frees in O(#chunks) at destruction — the fix for the
+// super-linear tail the thm5 bench showed at 640k threads when every
+// item was an individual new/delete.
 
 #include <cstddef>
 #include <cstdint>
+
+#include "util/arena.hpp"
 
 namespace spr::om {
 
@@ -53,20 +61,8 @@ class OrderList {
   OrderList(const OrderList&) = delete;
   OrderList& operator=(const OrderList&) = delete;
 
-  ~OrderList() {
-    Bucket* b = head_;
-    while (b != nullptr) {
-      Item* it = b->first;
-      while (it != nullptr) {
-        Item* nx = it->next;
-        delete it;
-        it = nx;
-      }
-      Bucket* nb = b->next;
-      delete b;
-      b = nb;
-    }
-  }
+  // Pools reclaim every node in bulk; no per-node teardown needed.
+  ~OrderList() = default;
 
   /// Inserts a new first item.
   Item* insert_front() {
@@ -143,7 +139,7 @@ class OrderList {
     --b->count;
     --size_;
     ++stats_.erases;
-    delete x;
+    item_pool_.destroy(x);
     if (b->count == 0) {
       if (b->prev != nullptr)
         b->prev->next = b->next;
@@ -155,7 +151,7 @@ class OrderList {
         tail_ = b->prev;
       --buckets_;
       ++stats_.buckets_freed;
-      delete b;
+      bucket_pool_.destroy(b);
     }
   }
 
@@ -178,7 +174,8 @@ class OrderList {
   }
 
   std::size_t memory_bytes() const {
-    return sizeof(*this) + size_ * sizeof(Item) + buckets_ * sizeof(Bucket);
+    return sizeof(*this) + item_pool_.memory_bytes() +
+           bucket_pool_.memory_bytes();
   }
 
  private:
@@ -187,14 +184,14 @@ class OrderList {
   static constexpr std::uint64_t kTopMax = 1ULL << 62;  // top label universe
 
   Item* new_item(std::uint64_t label, Bucket* b) {
-    Item* it = new Item;
+    Item* it = item_pool_.create();
     it->label = label;
     it->bucket = b;
     return it;
   }
 
   Item* insert_into_empty() {
-    Bucket* b = new Bucket;
+    Bucket* b = bucket_pool_.create();
     b->label = kTopMax / 2;
     head_ = tail_ = b;
     ++buckets_;
@@ -221,7 +218,7 @@ class OrderList {
   /// labels in both and inserting the new bucket's top label.
   void split(Bucket* b) {
     ++stats_.bucket_splits;
-    Bucket* nb = new Bucket;
+    Bucket* nb = bucket_pool_.create();
     ++buckets_;
     // Move the latter half of b's items into nb (relinking only; item
     // nodes stay put so external pointers survive).
@@ -309,6 +306,8 @@ class OrderList {
   std::size_t size_ = 0;
   std::size_t buckets_ = 0;
   Stats stats_;
+  util::Pool<Item> item_pool_;
+  util::Pool<Bucket> bucket_pool_;
 };
 
 }  // namespace spr::om

@@ -3,110 +3,27 @@
 // SP-maintenance structures — the "more sophisticated detector" whose
 // bounds the paper's abstract says improve correspondingly with SP-order.
 //
-// Per location we keep a pruned history of (lockset, writer?) entries,
-// each remembering up to two representative threads (the most recent one
-// and a sticky parallel one, mirroring the determinacy shadow protocol).
-// An access races with a history entry iff at least one side writes,
-// the locksets are disjoint, and the threads are parallel. Keying the
-// history by (lockset, write) bounds per-access work by the number of
-// distinct locksets used at that location, which is what keeps the
-// slowdown factor constant as program size grows.
-
-#include <cstdint>
-#include <unordered_map>
-#include <vector>
+// Since the streaming refactor this is a one-line client: the walker and
+// session plumbing are shared with the determinacy detector
+// (race/detector.hpp), and the protocol — per (stream, location) a
+// pruned history of (lockset, writer?) entries, each remembering the
+// most recent thread and a sticky parallel one — lives in the sharded
+// shadow layer as stream::AllSetsShadow
+// (race/stream/shadow_shards.hpp). An access races with a history entry
+// iff at least one side writes, the locksets are disjoint, and the
+// threads are parallel.
 
 #include "race/detector.hpp"
+#include "race/stream/shadow_shards.hpp"
 #include "sptree/sp_maintenance.hpp"
-#include "sptree/walk.hpp"
-#include "util/timing.hpp"
 
 namespace spr::race {
-
-namespace detail {
-
-/// Templated on the SP algorithm — same contract as DetectVisitor.
-template <typename SpAlgo>
-class AllSetsVisitor final : public tree::WalkVisitor {
- public:
-  AllSetsVisitor(const tree::ParseTree& t, SpAlgo& algo)
-      : tree_(t), algo_(algo) {}
-
-  void enter_internal(const tree::Node& n) override {
-    algo_.enter_internal(n);
-  }
-  void between_children(const tree::Node& n) override {
-    algo_.between_children(n);
-  }
-  void leave_internal(const tree::Node& n) override {
-    algo_.leave_internal(n);
-  }
-  void leave_leaf(const tree::Node& n) override { algo_.leave_leaf(n); }
-
-  void visit_leaf(const tree::Node& n) override {
-    algo_.visit_leaf(n);
-    checksum ^= util::spin_work(n.work);
-    const tree::ThreadId v = n.thread;
-    for (const tree::Access& a : tree_.accesses(v)) {
-      auto& history = histories_[a.loc];
-      for (Entry& e : history) {
-        const bool conflicting = a.write || e.write;
-        const bool unguarded = (e.locks & a.locks) == 0;
-        if (!conflicting || !unguarded) continue;
-        if (!serial(e.t1, v)) ++report.race_count;
-        if (!serial(e.t2, v)) ++report.race_count;
-      }
-      file(history, a, v);
-    }
-  }
-
-  RaceReport report;
-  std::uint64_t checksum = 0;
-
- private:
-  struct Entry {
-    std::uint64_t locks = 0;
-    bool write = false;
-    tree::ThreadId t1 = tree::kNoThread;  ///< most recent accessor
-    tree::ThreadId t2 = tree::kNoThread;  ///< sticky parallel accessor
-  };
-
-  bool serial(tree::ThreadId u, tree::ThreadId v) {
-    if (u == tree::kNoThread || u == v) return true;
-    ++report.queries;
-    return algo_.precedes(u, v);
-  }
-
-  void file(std::vector<Entry>& history, const tree::Access& a,
-            tree::ThreadId v) {
-    for (Entry& e : history) {
-      if (e.locks != a.locks || e.write != a.write) continue;
-      if (e.t1 == tree::kNoThread || serial(e.t1, v)) {
-        e.t1 = v;
-      } else {
-        if (e.t2 == tree::kNoThread || serial(e.t2, v)) e.t2 = e.t1;
-        e.t1 = v;
-      }
-      return;
-    }
-    history.push_back({a.locks, a.write, v, tree::kNoThread});
-  }
-
-  const tree::ParseTree& tree_;
-  SpAlgo& algo_;
-  std::unordered_map<std::uint64_t, std::vector<Entry>> histories_;
-};
-
-}  // namespace detail
 
 /// Runs ALL-SETS lock-aware data-race detection over `t` with a fresh
 /// SP-maintenance backend `algo`.
 template <typename SpAlgo>
 inline RaceReport detect_lock_races(const tree::ParseTree& t, SpAlgo& algo) {
-  detail::AllSetsVisitor<SpAlgo> v(t, algo);
-  serial_walk(t, v);
-  util::do_not_optimize(v.checksum);
-  return v.report;
+  return detail::detect_via_stream<stream::AllSetsShadow>(t, algo);
 }
 
 }  // namespace spr::race

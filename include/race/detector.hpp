@@ -1,132 +1,119 @@
 #pragma once
-// Serial on-the-fly determinacy-race detection (Corollary 6): execute the
-// program serially, keep a shadow cell per memory location, and ask the
-// SP-maintenance backend whether the previous accessors are serial with
-// the current thread. With SP-order each query is Theta(1), so the whole
-// detection runs in O(T1); SP-bags gives the Theta(alpha) Nondeterminator
-// bound.
+// Serial on-the-fly determinacy-race detection (Corollary 6) as a thin
+// client of the streaming ingestion core (race/stream/service.hpp): the
+// walker executes the program serially, drives its SP-maintenance
+// backend through the tree callbacks (so strictly on-the-fly backends
+// like SP-bags stay correct), serializes the same walk into stream
+// events, and flushes a batch to the service at every leaf boundary.
+// Validation, sharded shadow memory, query accounting, and the verdict
+// all live in the service — the in-process path and a remote event
+// stream run the same code.
 //
-// Shadow protocol (per location): the last writer plus two readers — the
-// most recent reader and a sticky reader kept from an earlier parallel
-// branch. A write must be serial with the stored writer and both readers;
-// a read must be serial with the stored writer. On a serial walk this
-// flags a race for every program whose dag has a conflicting parallel
-// pair on the locations it touches, and never flags a race-free program
-// (any reported pair really is parallel and conflicting).
+// The shadow protocol itself (last writer + recent reader + sticky
+// parallel reader) lives in race/shadow_protocol.hpp; its soundness and
+// completeness on serial replays is certified exhaustively by
+// tests/race_completeness_test.cpp.
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include <stdexcept>
+#include <string>
 
+#include "race/shadow_protocol.hpp"
+#include "race/stream/service.hpp"
 #include "sptree/sp_maintenance.hpp"
 #include "sptree/walk.hpp"
 #include "util/timing.hpp"
 
 namespace spr::race {
 
-struct RaceReport {
-  std::uint64_t race_count = 0;
-  std::uint64_t queries = 0;  ///< precedes() calls issued by the protocol
-  bool has_race() const { return race_count > 0; }
-};
-
-struct ShadowCell {
-  tree::ThreadId writer = tree::kNoThread;
-  tree::ThreadId reader1 = tree::kNoThread;  ///< most recent reader
-  tree::ThreadId reader2 = tree::kNoThread;  ///< sticky parallel reader
-};
-
-class ShadowMemory {
- public:
-  ShadowCell& cell(std::uint64_t loc) { return cells_[loc]; }
-  std::size_t size() const { return cells_.size(); }
-
- private:
-  std::unordered_map<std::uint64_t, ShadowCell> cells_;
-};
-
-/// Applies one access by thread `v` to a shadow cell, bumping
-/// `race_count` per conflicting parallel accessor. `serial(u, v)` must
-/// return whether u is serial with v (treating "no thread" and u == v as
-/// serial). Shared by the serial detector and the SP-hybrid executor so
-/// the protocol cannot diverge between them.
-template <typename SerialFn>
-inline void shadow_apply(ShadowCell& c, const tree::Access& a,
-                         tree::ThreadId v, SerialFn&& serial,
-                         std::uint64_t& race_count) {
-  if (a.write) {
-    if (!serial(c.writer, v)) ++race_count;
-    if (!serial(c.reader1, v)) ++race_count;
-    if (!serial(c.reader2, v)) ++race_count;
-    // The write dominates: any future conflict with the overwritten
-    // accessors is also a conflict with v.
-    c.writer = v;
-    c.reader1 = c.reader2 = tree::kNoThread;
-  } else {
-    if (!serial(c.writer, v)) ++race_count;
-    if (c.reader1 == tree::kNoThread || serial(c.reader1, v)) {
-      c.reader1 = v;
-    } else {
-      // reader1 is parallel to v: keep it sticky in reader2 (it can
-      // still race a later writer that v is serial with) and make v the
-      // recent reader.
-      if (c.reader2 == tree::kNoThread || serial(c.reader2, v))
-        c.reader2 = c.reader1;
-      c.reader1 = v;
-    }
-  }
-}
-
 namespace detail {
 
 /// Templated on the SP algorithm so detection can run over any backend
 /// (tree::SpMaintenance subclasses, a concrete SpOrder, or a templated
-/// hybrid facade) with statically bound — devirtualized — queries.
+/// hybrid facade) with statically bound — devirtualized — queries, and
+/// on the shadow protocol (DeterminacyShadow or AllSetsShadow).
 /// SpAlgo needs enter_internal / between_children / leave_internal /
 /// leave_leaf / visit_leaf / precedes.
-template <typename SpAlgo>
-class DetectVisitor final : public tree::WalkVisitor {
+template <typename SpAlgo, typename Shadow>
+class StreamClientVisitor final : public tree::WalkVisitor {
  public:
-  DetectVisitor(const tree::ParseTree& t, SpAlgo& algo)
-      : tree_(t), algo_(algo) {}
+  using Svc = stream::Service<stream::ExternalSp<SpAlgo>, Shadow>;
+
+  StreamClientVisitor(const tree::ParseTree& t, SpAlgo& algo, Svc& svc,
+                      stream::StreamId sid)
+      : tree_(t), algo_(algo), svc_(&svc) {
+    batch_.stream = sid;
+  }
 
   void enter_internal(const tree::Node& n) override {
     algo_.enter_internal(n);
+    batch_.events.push_back(
+        stream::fork_event(n.kind == tree::NodeKind::kSeries));
   }
   void between_children(const tree::Node& n) override {
     algo_.between_children(n);
+    batch_.events.push_back(stream::switch_event());
   }
   void leave_internal(const tree::Node& n) override {
     algo_.leave_internal(n);
+    batch_.events.push_back(stream::join_event());
   }
-  void leave_leaf(const tree::Node& n) override { algo_.leave_leaf(n); }
 
   void visit_leaf(const tree::Node& n) override {
     algo_.visit_leaf(n);
     checksum ^= util::spin_work(n.work);
-    const tree::ThreadId v = n.thread;
-    for (const tree::Access& a : tree_.accesses(v)) {
-      shadow_apply(
-          shadow_.cell(a.loc), a, v,
-          [this](tree::ThreadId u, tree::ThreadId w) { return serial(u, w); },
-          report.race_count);
-    }
+    batch_.events.push_back(stream::thread_begin_event(n.thread));
+    for (const tree::Access& a : tree_.accesses(n.thread))
+      batch_.events.push_back(stream::access_event(a.loc, a.write, a.locks));
   }
 
-  RaceReport report;
+  void leave_leaf(const tree::Node& n) override {
+    algo_.leave_leaf(n);
+    batch_.events.push_back(stream::thread_end_event());
+    // Flush at every leaf boundary: SP queries for these accesses must be
+    // issued while the leaf is the currently executing thread, which is
+    // the contract strictly on-the-fly backends depend on.
+    flush();
+  }
+
+  /// Submits the pending batch; the walk emits well-formed traces by
+  /// construction, so a reject here is a programming error, not input.
+  void flush() {
+    if (batch_.events.empty()) return;
+    const stream::IngestResult r = svc_->submit(batch_);
+    if (!r.ok())
+      throw std::logic_error(std::string("stream self-reject: ") +
+                             stream::to_string(r.error));
+    ++batch_.epoch;
+    batch_.events.clear();
+  }
+
   std::uint64_t checksum = 0;
 
  private:
-  bool serial(tree::ThreadId u, tree::ThreadId v) {
-    if (u == tree::kNoThread || u == v) return true;
-    ++report.queries;
-    return algo_.precedes(u, v);
-  }
-
   const tree::ParseTree& tree_;
   SpAlgo& algo_;
-  ShadowMemory shadow_;
+  Svc* svc_;
+  stream::Batch batch_;
 };
+
+/// Shared driver for the determinacy and ALL-SETS entry points.
+template <typename Shadow, typename SpAlgo>
+inline RaceReport detect_via_stream(const tree::ParseTree& t, SpAlgo& algo) {
+  RaceReport out;
+  if (t.root() == tree::kNoNode) return out;
+  stream::Service<stream::ExternalSp<SpAlgo>, Shadow> svc;
+  const stream::StreamId sid = svc.open_stream(algo);
+  StreamClientVisitor<SpAlgo, Shadow> v(t, algo, svc, sid);
+  serial_walk(t, v);
+  v.flush();
+  const stream::IngestResult fin = svc.finish(sid);
+  if (!fin.ok())
+    throw std::logic_error(std::string("stream self-reject at finish: ") +
+                           stream::to_string(fin.error));
+  util::do_not_optimize(v.checksum);
+  return svc.report(sid).races;
+}
 
 }  // namespace detail
 
@@ -134,10 +121,7 @@ class DetectVisitor final : public tree::WalkVisitor {
 /// fresh `algo` (any SpMaintenance backend) for SP queries.
 template <typename SpAlgo>
 inline RaceReport detect_races(const tree::ParseTree& t, SpAlgo& algo) {
-  detail::DetectVisitor<SpAlgo> v(t, algo);
-  serial_walk(t, v);
-  util::do_not_optimize(v.checksum);
-  return v.report;
+  return detail::detect_via_stream<stream::DeterminacyShadow>(t, algo);
 }
 
 }  // namespace spr::race

@@ -1,0 +1,240 @@
+#pragma once
+// Session layer of the streaming race-detection service: many concurrent
+// client streams, each an independent fork-join program trace, ingested
+// as epoch-numbered event batches (race/stream/event.hpp) and answered
+// with per-stream race verdicts.
+//
+//   Service<Sp, Shadow> svc({.shards = 16});
+//   StreamId s = svc.open_stream();          // Sp per stream
+//   svc.submit({s, /*epoch=*/0, events});    // typed reject on bad input
+//   svc.finish(s);                           // rejects truncated traces
+//   svc.report(s).races.has_race();
+//
+// Concurrency contract: one submitter per stream at a time (enforced by a
+// per-stream mutex — a second client of the same stream serializes, it
+// does not corrupt), any number of streams in parallel. Per-stream SP
+// state is only ever mutated by its submitter; the sharded shadow memory
+// (race/stream/shadow_shards.hpp) is the one cross-stream structure and
+// carries per-shard locks. Verdicts are deterministic: they depend only
+// on each stream's own event order, never on cross-stream interleaving —
+// the mc shard-contention scenario checks exactly this.
+//
+// Validation: every batch is trial-run against the stream's trace
+// grammar BEFORE any of it is applied, so a rejected batch leaves the
+// stream byte-identical (atomic reject) and the client can repair and
+// resubmit the same epoch.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "race/shadow_protocol.hpp"
+#include "race/stream/event.hpp"
+#include "race/stream/shadow_shards.hpp"
+#include "race/stream/sp_stream.hpp"
+#include "util/atomics.hpp"
+
+namespace spr::race::stream {
+
+/// Trace-grammar validator (see event.hpp for the grammar). Copyable so
+/// submit() can trial-run a batch and commit only on success; state is
+/// O(fork nesting depth).
+class TraceValidator {
+ public:
+  IngestError step(const Event& e) {
+    switch (e.kind) {
+      case EventKind::kFork:
+        if (in_thread_ || !expect_subtree_) return IngestError::kMisplacedFork;
+        stages_.push_back(0);
+        return IngestError::kOk;
+      case EventKind::kThreadBegin:
+        if (in_thread_ || !expect_subtree_)
+          return IngestError::kMisplacedThreadBegin;
+        if (e.thread != next_thread_) return IngestError::kThreadIdMismatch;
+        ++next_thread_;
+        in_thread_ = true;
+        expect_subtree_ = false;
+        return IngestError::kOk;
+      case EventKind::kAccess:
+        if (!in_thread_) return IngestError::kMisplacedAccess;
+        return IngestError::kOk;
+      case EventKind::kThreadEnd:
+        if (!in_thread_) return IngestError::kMisplacedThreadEnd;
+        in_thread_ = false;  // a subtree just completed
+        return IngestError::kOk;
+      case EventKind::kSwitch:
+        if (in_thread_ || expect_subtree_ || stages_.empty() ||
+            stages_.back() != 0)
+          return IngestError::kMisplacedSwitch;
+        stages_.back() = 1;
+        expect_subtree_ = true;
+        return IngestError::kOk;
+      case EventKind::kJoin:
+        if (in_thread_ || expect_subtree_ || stages_.empty() ||
+            stages_.back() != 1)
+          return IngestError::kMisplacedJoin;
+        stages_.pop_back();  // the fork's subtree just completed
+        return IngestError::kOk;
+    }
+    return IngestError::kMisplacedAccess;  // unreachable
+  }
+
+  /// True once exactly one whole subtree has been consumed.
+  bool complete() const {
+    return !in_thread_ && !expect_subtree_ && stages_.empty();
+  }
+
+  tree::ThreadId next_thread() const { return next_thread_; }
+
+ private:
+  std::vector<std::uint8_t> stages_;  ///< open forks: 0 = in left branch,
+                                      ///< 1 = in right branch
+  bool in_thread_ = false;
+  bool expect_subtree_ = true;  ///< a subtree must start next
+  tree::ThreadId next_thread_ = 0;
+};
+
+struct ServiceOptions {
+  std::uint32_t shards = 16;  ///< rounded up to a power of two
+};
+
+struct StreamReport {
+  RaceReport races;
+  std::uint64_t events = 0;
+  std::uint64_t batches = 0;
+  bool finished = false;
+};
+
+template <typename Sp = StreamingSpOrder, typename Shadow = DeterminacyShadow>
+class Service {
+ public:
+  explicit Service(ServiceOptions o = {}) : shadow_(o.shards) {}
+
+  /// Opens a new stream whose SP engine is constructed from `args`
+  /// (in place: SP engines hold OM lists and are not movable).
+  template <typename... Args>
+  StreamId open_stream(Args&&... args) {
+    auto st = std::make_unique<StreamState>(std::forward<Args>(args)...);
+    spr::lock_guard<spr::mutex> lock(streams_mu_);
+    streams_.push_back(std::move(st));
+    return static_cast<StreamId>(streams_.size() - 1);
+  }
+
+  IngestResult submit(const Batch& b) {
+    StreamState* st = stream(b.stream);
+    if (st == nullptr) return {IngestError::kUnknownStream, 0};
+    spr::lock_guard<spr::mutex> lock(st->mu);
+    if (st->finished) return {IngestError::kStreamFinished, 0};
+    if (b.epoch < st->next_epoch) return {IngestError::kEpochReplayed, 0};
+    if (b.epoch > st->next_epoch) return {IngestError::kEpochGap, 0};
+    // Trial pass: nothing is applied unless the whole batch is valid.
+    TraceValidator trial = st->validator;
+    for (std::size_t i = 0; i < b.events.size(); ++i) {
+      const IngestError err = trial.step(b.events[i]);
+      if (err != IngestError::kOk)
+        return {err, static_cast<std::uint32_t>(i)};
+    }
+    st->validator = std::move(trial);
+    ++st->next_epoch;
+    apply(b, *st);
+    return {IngestError::kOk, 0};
+  }
+
+  IngestResult finish(StreamId s) {
+    StreamState* st = stream(s);
+    if (st == nullptr) return {IngestError::kUnknownStream, 0};
+    spr::lock_guard<spr::mutex> lock(st->mu);
+    if (st->finished) return {IngestError::kStreamFinished, 0};
+    if (!st->validator.complete()) return {IngestError::kTruncated, 0};
+    st->finished = true;
+    st->rep.finished = true;
+    return {IngestError::kOk, 0};
+  }
+
+  StreamReport report(StreamId s) const {
+    StreamState* st = stream(s);
+    if (st == nullptr) return {};
+    spr::lock_guard<spr::mutex> lock(st->mu);
+    return st->rep;
+  }
+
+  const Sp& sp(StreamId s) const { return stream(s)->sp; }
+
+  std::uint32_t shard_count() const { return shadow_.shard_count(); }
+  std::uint32_t shard_of(std::uint64_t loc) const {
+    return shadow_.shard_of(loc);
+  }
+
+  std::size_t memory_bytes() const {
+    spr::lock_guard<spr::mutex> lock(streams_mu_);
+    std::size_t n = sizeof(*this) + shadow_.memory_bytes();
+    for (const auto& st : streams_)
+      n += sizeof(StreamState) + st->sp.memory_bytes();
+    return n;
+  }
+
+ private:
+  struct StreamState {
+    template <typename... Args>
+    explicit StreamState(Args&&... args) : sp(std::forward<Args>(args)...) {}
+    mutable spr::mutex mu;  ///< serializes submitters of this stream
+    Sp sp;
+    TraceValidator validator;
+    std::uint64_t next_epoch = 0;
+    tree::ThreadId current = tree::kNoThread;  ///< open leaf thread
+    bool finished = false;
+    StreamReport rep;
+  };
+
+  StreamState* stream(StreamId s) const {
+    spr::lock_guard<spr::mutex> lock(streams_mu_);
+    if (s >= streams_.size()) return nullptr;
+    return streams_[s].get();
+  }
+
+  void apply(const Batch& b, StreamState& st) {
+    const auto serial = [&st](tree::ThreadId u, tree::ThreadId v) {
+      if (u == tree::kNoThread || u == v) return true;
+      ++st.rep.races.queries;
+      return st.sp.precedes(u, v);
+    };
+    for (const Event& e : b.events) {
+      switch (e.kind) {
+        case EventKind::kFork:
+          st.sp.on_fork(e.series);
+          break;
+        case EventKind::kSwitch:
+          st.sp.on_switch();
+          break;
+        case EventKind::kJoin:
+          st.sp.on_join();
+          break;
+        case EventKind::kThreadBegin:
+          st.sp.on_thread_begin(e.thread);
+          st.current = e.thread;
+          break;
+        case EventKind::kThreadEnd:
+          break;
+        case EventKind::kAccess: {
+          const tree::Access a{e.loc, e.write, e.locks};
+          shadow_.apply(b.stream, a, st.current, serial,
+                        st.rep.races.race_count);
+          break;
+        }
+      }
+    }
+    st.rep.events += b.events.size();
+    ++st.rep.batches;
+  }
+
+  mutable spr::mutex streams_mu_;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+  Shadow shadow_;
+};
+
+/// The service most deployments want: native per-stream SP-order over the
+/// determinacy shadow protocol.
+using IngestService = Service<>;
+
+}  // namespace spr::race::stream

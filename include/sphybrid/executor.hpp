@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 
+#include "fjprog/record.hpp"
 #include "race/detector.hpp"
 #include "spbags/dsu.hpp"
 #include "sphybrid/worker.hpp"
@@ -44,23 +45,30 @@ class SerialDriver final : public tree::WalkVisitor {
       : tree_(t), opts_(o), result_(r) {
     if (o.mode != Mode::kPlain || o.detect_races)
       algo_ = std::make_unique<order::SpOrder>(t);
+    if (o.record_events != nullptr)
+      recorder_ = std::make_unique<fj::EventRecorder>(t, *o.record_events);
   }
 
   void enter_internal(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->enter_internal(n);
+    if (recorder_ != nullptr) recorder_->enter_internal(n);
   }
   void between_children(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->between_children(n);
+    if (recorder_ != nullptr) recorder_->between_children(n);
   }
   void leave_internal(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->leave_internal(n);
+    if (recorder_ != nullptr) recorder_->leave_internal(n);
   }
   void leave_leaf(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->leave_leaf(n);
+    if (recorder_ != nullptr) recorder_->leave_leaf(n);
   }
 
   void visit_leaf(const tree::Node& n) override {
     if (algo_ != nullptr) algo_->visit_leaf(n);
+    if (recorder_ != nullptr) recorder_->visit_leaf(n);
     spin_xor_ ^= util::spin_work(n.work);
     const tree::ThreadId v = n.thread;
     if (opts_.queries_per_leaf > 0) {
@@ -101,6 +109,7 @@ class SerialDriver final : public tree::WalkVisitor {
   std::uint64_t spin_xor_ = 0;
   std::uint64_t digest_sum_ = 0;
   std::unique_ptr<order::SpOrder> algo_;
+  std::unique_ptr<fj::EventRecorder> recorder_;
   race::ShadowMemory shadow_;
 };
 

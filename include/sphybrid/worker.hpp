@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "race/detector.hpp"
+#include "race/stream/event.hpp"
+#include "race/stream/shadow_shards.hpp"
 #include "spbags/dsu.hpp"
 #include "sphybrid/deque.hpp"
 #include "sphybrid/two_tier_sp.hpp"
@@ -60,6 +62,10 @@ struct ExecOptions {
   bool detect_races = false;
   bags::AtomicDisjointSets::Mode dsu_mode =
       bags::AtomicDisjointSets::Mode::kRankOnly;
+  /// kSerialReference only: when non-null, the run is also serialized
+  /// into the streaming service's event vocabulary (fjprog/record.hpp),
+  /// ready to replay through race::stream::Service at any batch size.
+  std::vector<race::stream::Event>* record_events = nullptr;
 };
 
 struct ExecResult {
@@ -242,12 +248,6 @@ class BasicWorkStealingEngine {
     std::uint64_t digest_sum = 0;
   };
 
-  struct ShadowShard {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, race::ShadowCell> cells;
-  };
-  static constexpr std::size_t kShards = 64;
-
   std::uint32_t mint_trace() {
     return next_trace_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -301,11 +301,11 @@ class BasicWorkStealingEngine {
       ++w.queries;
       return answer(w, u, cur);
     };
-    for (const tree::Access& a : tree_.accesses(v)) {
-      ShadowShard& shard = shards_[a.loc % kShards];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      race::shadow_apply(shard.cells[a.loc], a, v, serial, local_races);
-    }
+    // The engine is one program == one stream; sharding (hash-partitioned
+    // locations, per-shard locks, SoA cells) is shared with the streaming
+    // service so both deployments run the same shadow code.
+    for (const tree::Access& a : tree_.accesses(v))
+      shadow_.apply(/*stream=*/0, a, v, serial, local_races);
     if (local_races > 0)
       race_count_.fetch_add(local_races, std::memory_order_relaxed);
   }
@@ -437,7 +437,7 @@ class BasicWorkStealingEngine {
   std::unique_ptr<detail::NaiveSpOrder> naive_;
   std::mutex naive_mu_;
   std::vector<std::unique_ptr<WorkerCtx>> workers_;
-  ShadowShard shards_[kShards];
+  race::stream::DeterminacyShadow shadow_{64};
   std::atomic<std::uint64_t> race_count_{0};
   std::atomic<std::uint32_t> next_trace_{0};
   std::atomic<bool> done_{false};

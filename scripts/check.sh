@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Local tier-1 verification: configure, build, and run the test suite.
+# Local tier-1 verification: configure, build, and run the test suite
+# (including race_stream_test — the streaming-service verdict-parity /
+# batch-invariance / malformed-input suite — and the exhaustive
+# race_completeness_test enumeration).
 #
 # Usage: scripts/check.sh [--bench] [--mc] [--san [KIND]]
 #   --bench      also build bench/ harnesses

@@ -20,6 +20,7 @@
 #include "mc/checker.hpp"
 #include "om/forkpath_om.hpp"
 #include "om/two_level_om.hpp"
+#include "race/stream/service.hpp"
 #include "spbags/dsu.hpp"
 #include "sphybrid/deque.hpp"
 #include "sphybrid/segment_list.hpp"
@@ -393,6 +394,82 @@ TEST(McSuite, ForkPathSamePivotCasRace) {
   });
   ASSERT_FALSE(st.failed) << st.failure_message << "\n" << st.failure_trace;
   report("forkpath_same_pivot_cas", st);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 9: the streaming service's sharded shadow memory under two
+// concurrent client streams (race/stream/). Each stream is an
+// independent two-writer race on one location; the per-shard spr::mutex
+// is the only cross-stream structure. Oracle: verdicts are deterministic
+// — each stream reports exactly its own race on EVERY interleaving,
+// whether the two streams' locations collide on one shard (full lock
+// contention) or land on different shards (no contention).
+
+namespace {
+
+spr::race::stream::Batch two_writer_batch(spr::race::stream::StreamId s,
+                                          std::uint64_t loc) {
+  namespace rs = spr::race::stream;
+  rs::Batch b;
+  b.stream = s;
+  b.events = {rs::fork_event(/*series=*/false), rs::thread_begin_event(0),
+              rs::access_event(loc, /*write=*/true), rs::thread_end_event(),
+              rs::switch_event(),  rs::thread_begin_event(1),
+              rs::access_event(loc, /*write=*/true), rs::thread_end_event(),
+              rs::join_event()};
+  return b;
+}
+
+void run_stream_shard_scenario(std::uint64_t loc_a, std::uint64_t loc_b,
+                               const char* name) {
+  namespace rs = spr::race::stream;
+  mc::Options o = base_options();
+  o.max_dfs_schedules = 3000;
+  const mc::Stats st = mc::explore(o, [&](mc::Run& r) {
+    rs::IngestService svc({2});
+    const rs::StreamId s1 = svc.open_stream();
+    const rs::StreamId s2 = svc.open_stream();
+    rs::IngestResult r1, r2, f1, f2;
+    r.spawn([&] {
+      r1 = svc.submit(two_writer_batch(s1, loc_a));
+      f1 = svc.finish(s1);
+    });
+    r.spawn([&] {
+      r2 = svc.submit(two_writer_batch(s2, loc_b));
+      f2 = svc.finish(s2);
+    });
+    r.join_all();
+    SPR_MC_ASSERT(r1.ok() && f1.ok() && r2.ok() && f2.ok(),
+                  "valid batches must ingest on every interleaving");
+    SPR_MC_ASSERT(svc.report(s1).races.race_count == 1,
+                  "stream 1 must report exactly its own race");
+    SPR_MC_ASSERT(svc.report(s2).races.race_count == 1,
+                  "stream 2 must report exactly its own race");
+    SPR_MC_ASSERT(svc.report(s1).finished && svc.report(s2).finished,
+                  "both streams must finish");
+  });
+  ASSERT_FALSE(st.failed) << st.failure_message << "\n" << st.failure_trace;
+  report(name, st);
+}
+
+}  // namespace
+
+TEST(McSuite, StreamShardContentionSameShard) {
+  // Two locations that hash to the SAME of 2 shards: every shadow apply
+  // funnels through one lock.
+  spr::race::stream::DeterminacyShadow probe(2);
+  std::uint64_t loc_b = 1;
+  while (probe.shard_of(loc_b) != probe.shard_of(0)) ++loc_b;
+  run_stream_shard_scenario(0, loc_b, "stream_same_shard");
+}
+
+TEST(McSuite, StreamShardContentionCrossShard) {
+  // Two locations on DIFFERENT shards: streams only share the stream
+  // table lock.
+  spr::race::stream::DeterminacyShadow probe(2);
+  std::uint64_t loc_b = 1;
+  while (probe.shard_of(loc_b) == probe.shard_of(0)) ++loc_b;
+  run_stream_shard_scenario(0, loc_b, "stream_cross_shard");
 }
 
 // ---------------------------------------------------------------------
